@@ -1,0 +1,1 @@
+bench/common.ml: Format List Milp Netpath Printf Raha Te Traffic Wan

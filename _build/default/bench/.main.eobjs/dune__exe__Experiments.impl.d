@@ -1,0 +1,1 @@
+bench/experiments.ml: Common Failure Float Fun List Milp Netpath Printf Raha Te Traffic Unix Wan

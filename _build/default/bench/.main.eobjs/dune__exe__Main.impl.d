@@ -1,0 +1,1 @@
+bench/main.ml: Arg Common Experiments Format List Micro String Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Format Hashtbl Instance List Measure Milp Netpath Printf Raha Random Staged Test Time Toolkit Traffic Wan

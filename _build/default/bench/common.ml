@@ -1,0 +1,77 @@
+(* Shared scaffolding for the per-figure/per-table experiments.
+
+   Every experiment prints its configuration first: the bundled MILP
+   solver replaces Gurobi, so defaults are scaled-down versions of the
+   paper's setups (DESIGN.md, "Substitutions"); the [--full] flag raises
+   sizes and budgets. *)
+
+type ctx = {
+  budget : float;  (** per-solve wall-clock budget, seconds *)
+  full : bool;
+  quick : bool;  (** trimmed grids for smoke runs *)
+}
+
+let default_ctx = { budget = 10.; full = false; quick = false }
+
+let printf = Format.printf
+
+let section ctx ~id ~paper ~config =
+  printf "@.=== %s: %s ===@." id paper;
+  printf "config: %s (budget %gs/solve%s)@." config ctx.budget
+    (if ctx.full then ", full" else "")
+
+let row fmt = Format.printf fmt
+
+(* --- reference topologies --------------------------------------------- *)
+
+(* Variable-demand workhorse: solves to optimality in well under a
+   second, with the multi-link LAGs and flaky-south structure of the
+   production WAN (§8.1). *)
+let wan_small () =
+  let topo = Wan.Generators.africa_like ~seed:5 ~n:8 () in
+  (topo, [ (0, 5); (1, 6); (2, 7) ])
+
+(* Larger stand-in used by fixed-demand experiments. *)
+let wan_large () =
+  let topo = Wan.Generators.africa_like ~seed:5 ~n:10 () in
+  (topo, [ (0, 7); (1, 8); (2, 9); (5, 8) ])
+
+let paths_of ?scheme ?(primary = 2) ?(backup = 1) topo pairs =
+  Netpath.Path_set.compute ?scheme ~n_primary:primary ~n_backup:backup topo pairs
+
+let base_demand ?(volume = 60.) pairs =
+  Traffic.Demand.of_list (List.map (fun p -> (p, volume)) pairs)
+
+(* --- solving helpers ---------------------------------------------------- *)
+
+let spec ?(objective = Te.Formulation.Total_flow) ?threshold ?max_failures ?(ce = false)
+    ?(levels = 3) ?(goal = Raha.Bilevel.Max_degradation) () =
+  {
+    Raha.Bilevel.default_spec with
+    Raha.Bilevel.objective;
+    threshold;
+    max_failures;
+    connected_enforced = ce;
+    goal;
+    encoding = Raha.Bilevel.Strong_duality { levels };
+  }
+
+let options ctx spec = { (Raha.Analysis.with_timeout ctx.budget) with spec }
+
+let analyze ctx sp topo paths envelope =
+  Raha.Analysis.analyze ~options:(options ctx sp) topo paths envelope
+
+(* Normalized degradation string with a gap marker when the solve hit its
+   budget (the paper's timeout behaviour, §6). *)
+let deg_str (r : Raha.Analysis.report) =
+  match r.Raha.Analysis.status with
+  | Milp.Solver.Optimal -> Printf.sprintf "%.2f" r.Raha.Analysis.normalized
+  | Milp.Solver.Feasible -> Printf.sprintf "%.2f*" r.Raha.Analysis.normalized
+  | Milp.Solver.Infeasible -> "infeas"
+  | Milp.Solver.Unbounded -> "unbnd"
+  | Milp.Solver.Unknown -> "?"
+
+let k_str = function Some k -> string_of_int k | None -> "inf"
+
+let thresholds ctx = if ctx.quick then [ 1e-3; 1e-7 ] else [ 1e-1; 1e-3; 1e-5; 1e-7 ]
+let ks ctx = if ctx.quick then [ Some 2; None ] else [ Some 1; Some 2; Some 4; None ]

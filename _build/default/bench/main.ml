@@ -1,0 +1,59 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation on the scaled-down reference topologies.
+
+   Usage:
+     dune exec bench/main.exe                 run everything (default budgets)
+     dune exec bench/main.exe -- --list       list experiments
+     dune exec bench/main.exe -- --only fig5,tab3
+     dune exec bench/main.exe -- --quick      trimmed grids (smoke run)
+     dune exec bench/main.exe -- --full       larger topologies and budgets
+     dune exec bench/main.exe -- --budget 30  per-solve budget (seconds)
+     dune exec bench/main.exe -- --skip-micro skip the Bechamel timings *)
+
+let () =
+  let only = ref [] and list = ref false in
+  let budget = ref Common.default_ctx.Common.budget in
+  let quick = ref false and full = ref false and skip_micro = ref false in
+  let args =
+    [
+      ("--list", Arg.Set list, " list experiment ids");
+      ("--only", Arg.String (fun s -> only := String.split_on_char ',' s), "IDS comma-separated ids");
+      ("--budget", Arg.Set_float budget, "SECONDS per-solve budget (default 10)");
+      ("--quick", Arg.Set quick, " trimmed grids");
+      ("--full", Arg.Set full, " larger topologies and budgets");
+      ("--skip-micro", Arg.Set skip_micro, " skip the Bechamel micro-benchmarks");
+    ]
+  in
+  Arg.parse (Arg.align args) (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
+    "bench/main.exe [--list] [--only IDS] [--budget S] [--quick|--full]";
+  if !list then begin
+    List.iter
+      (fun (id, desc, _) -> Format.printf "%-8s %s@." id desc)
+      Experiments.all;
+    Format.printf "%-8s %s@." "micro" "Bechamel micro-benchmarks of the solver substrate"
+  end
+  else begin
+    let ctx =
+      {
+        Common.budget = (if !full then 4. *. !budget else !budget);
+        full = !full;
+        quick = !quick;
+      }
+    in
+    let selected = function
+      | [] -> fun _ -> true
+      | ids -> fun id -> List.mem id ids
+    in
+    let want = selected !only in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (id, _, fn) ->
+        if want id then begin
+          let t = Unix.gettimeofday () in
+          fn ctx;
+          Format.printf "[%s took %.1fs]@." id (Unix.gettimeofday () -. t)
+        end)
+      Experiments.all;
+    if (not !skip_micro) && want "micro" then Micro.run ();
+    Format.printf "@.total bench time: %.1fs@." (Unix.gettimeofday () -. t0)
+  end

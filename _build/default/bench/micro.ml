@@ -1,0 +1,88 @@
+(* Bechamel micro-benchmarks of the solver substrate: simplex, branch &
+   bound, the bi-level encoding, and a full fixed-demand analysis. *)
+
+open Bechamel
+open Toolkit
+
+let lp_instance () =
+  let m = Milp.Model.create ~name:"bench_lp" () in
+  let rng = Random.State.make [| 99 |] in
+  let xs = Array.init 40 (fun i -> Milp.Model.continuous ~ub:50. m (Printf.sprintf "x%d" i)) in
+  for _ = 1 to 60 do
+    let terms =
+      Array.to_list xs
+      |> List.filter_map (fun (v : Milp.Model.var) ->
+             if Random.State.float rng 1. < 0.3 then
+               Some (Random.State.float rng 4., v.Milp.Model.vid)
+             else None)
+    in
+    if terms <> [] then
+      Milp.Model.add_cons m (Milp.Linexpr.of_terms terms) Milp.Model.Le
+        (5. +. Random.State.float rng 40.)
+  done;
+  Milp.Model.set_objective m Milp.Model.Maximize
+    (Milp.Linexpr.sum
+       (Array.to_list
+          (Array.map (fun (v : Milp.Model.var) -> Milp.Linexpr.var v.Milp.Model.vid) xs)));
+  m
+
+let milp_instance () =
+  let m = Milp.Model.create ~name:"bench_milp" () in
+  let rng = Random.State.make [| 7 |] in
+  let xs = Array.init 16 (fun i -> Milp.Model.binary m (Printf.sprintf "b%d" i)) in
+  let weights = Array.map (fun _ -> 1. +. Random.State.float rng 9.) xs in
+  let values = Array.map (fun _ -> 1. +. Random.State.float rng 9.) xs in
+  Milp.Model.add_cons m
+    (Milp.Linexpr.of_terms
+       (Array.to_list
+          (Array.mapi (fun i (v : Milp.Model.var) -> (weights.(i), v.Milp.Model.vid)) xs)))
+    Milp.Model.Le 30.;
+  Milp.Model.set_objective m Milp.Model.Maximize
+    (Milp.Linexpr.of_terms
+       (Array.to_list
+          (Array.mapi (fun i (v : Milp.Model.var) -> (values.(i), v.Milp.Model.vid)) xs)));
+  m
+
+let fig1_setup () =
+  let topo = Wan.Generators.fig1 () in
+  let paths = Netpath.Path_set.compute ~n_primary:2 ~n_backup:0 topo [ (1, 3); (2, 3) ] in
+  let d = Traffic.Demand.of_list [ ((1, 3), 12.); ((2, 3), 10.) ] in
+  (topo, paths, d)
+
+let tests () =
+  let lp = lp_instance () in
+  let milp = milp_instance () in
+  let topo, paths, d = fig1_setup () in
+  let sp = { Raha.Bilevel.default_spec with Raha.Bilevel.max_failures = Some 1 } in
+  let grid = Wan.Generators.grid 4 4 in
+  Test.make_grouped ~name:"raha" ~fmt:"%s %s"
+    [
+      Test.make ~name:"simplex: 40x60 LP"
+        (Staged.stage (fun () -> ignore (Milp.Simplex.solve lp)));
+      Test.make ~name:"b&b: 16-item knapsack"
+        (Staged.stage (fun () -> ignore (Milp.Solver.solve milp)));
+      Test.make ~name:"bilevel build (fig1)"
+        (Staged.stage (fun () ->
+             ignore (Raha.Bilevel.build sp topo paths (Traffic.Envelope.fixed d))));
+      Test.make ~name:"full analysis (fig1, fixed demand)"
+        (Staged.stage (fun () ->
+             ignore (Raha.Analysis.analyze topo paths (Traffic.Envelope.fixed d))));
+      Test.make ~name:"yen 4-shortest (grid 4x4)"
+        (Staged.stage (fun () -> ignore (Netpath.Shortest.yen grid ~src:0 ~dst:15 4)));
+    ]
+
+let run () =
+  Format.printf "@.=== micro: solver substrate timings (Bechamel) ===@.";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (tests ()) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some [ t ] ->
+        if t > 1e6 then Format.printf "%-44s %10.3f ms/run@." name (t /. 1e6)
+        else Format.printf "%-44s %10.1f ns/run@." name t
+      | _ -> Format.printf "%-44s (no estimate)@." name)
+    (List.sort compare rows)

@@ -1,0 +1,1 @@
+examples/alert_pipeline.ml: Format List Netpath Printf Raha Traffic Wan

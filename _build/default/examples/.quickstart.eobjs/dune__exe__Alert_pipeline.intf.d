@@ -1,0 +1,1 @@
+examples/alert_pipeline.mli:

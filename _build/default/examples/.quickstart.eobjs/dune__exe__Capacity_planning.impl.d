@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Failure Format List Netpath Printf Raha String Traffic Unix Wan

@@ -1,0 +1,1 @@
+examples/outage_postmortem.ml: Failure Float Format List Netpath Raha Te Traffic Wan

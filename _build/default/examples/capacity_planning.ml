@@ -1,0 +1,52 @@
+(* Capacity planning on the B4 topology (§7, §8.6).
+
+   Finds the probable failure scenario (T = 1e-4) with the worst
+   degradation, then iteratively augments LAG capacities until no
+   probable failure can degrade the network, printing each step.
+
+   Run with: dune exec examples/capacity_planning.exe *)
+
+let () =
+  let topo = Wan.Zoo.b4 () in
+  Format.printf "topology: %a@.@." Wan.Topology.pp topo;
+  (* a handful of site pairs, 2 primaries + 1 backup each (B4 LAGs have a
+     single link, like the paper's Zoo experiments) *)
+  let pairs = [ (0, 11); (1, 10); (2, 9); (3, 8) ] in
+  let paths = Netpath.Path_set.compute ~n_primary:2 ~n_backup:1 topo pairs in
+  (* demands capped at half the average LAG capacity so no single demand
+     bottlenecks (the Appendix D.2 setup) *)
+  let cap = Wan.Topology.avg_lag_capacity topo /. 2. in
+  let base = Traffic.Demand.of_list (List.map (fun p -> (p, cap)) pairs) in
+  let spec =
+    {
+      Raha.Bilevel.default_spec with
+      Raha.Bilevel.threshold = Some 1e-4;
+      encoding = Raha.Bilevel.Strong_duality { levels = 3 };
+    }
+  in
+  let options = { (Raha.Analysis.with_timeout 20.) with spec } in
+  Format.printf "running the augmentation loop (threshold 1e-4)...@.";
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Raha.Augment.augment_lags ~options ~new_capacity_can_fail:true ~tolerance:0.01
+      ~max_steps:6 topo paths (Traffic.Envelope.fixed base)
+  in
+  List.iteri
+    (fun i (step : Raha.Augment.step) ->
+      Format.printf
+        "step %d: degradation %.1f (normalized %.3f), scenario %a -> add %s@." (i + 1)
+        step.Raha.Augment.report.Raha.Analysis.degradation
+        step.Raha.Augment.report.Raha.Analysis.normalized Failure.Scenario.pp
+        step.Raha.Augment.report.Raha.Analysis.scenario
+        (String.concat ", "
+           (List.map
+              (fun (e, n) -> Printf.sprintf "%d links to lag%d" n e)
+              step.Raha.Augment.lag_links_added)))
+    r.Raha.Augment.steps;
+  Format.printf
+    "@.converged: %b after %d steps, %d links added, residual degradation %.2f (%.1fs)@."
+    r.Raha.Augment.converged
+    (List.length r.Raha.Augment.steps)
+    r.Raha.Augment.total_links_added r.Raha.Augment.final.Raha.Analysis.degradation
+    (Unix.gettimeofday () -. t0);
+  Format.printf "augmented topology: %a@." Wan.Topology.pp r.Raha.Augment.topo

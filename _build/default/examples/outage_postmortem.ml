@@ -1,0 +1,68 @@
+(* Post-mortem of a §2-style incident on a synthetic continental WAN.
+
+   The incident: a seismic event cut several fibers in one region while
+   demands were shifting; capacity planning against k <= 2 failures had
+   declared the network safe. This example rebuilds that story:
+
+   1. estimate per-link failure probabilities from (synthetic) repair
+      telemetry with renewal-reward (Appendix B);
+   2. show what a k <= 2 analysis predicts;
+   3. show what Raha predicts when it considers every probable scenario
+      (threshold 1e-6) and demand shifts of up to 30% (§1);
+   4. replay Raha's scenario in the simulator to confirm the impact.
+
+   Run with: dune exec examples/outage_postmortem.exe *)
+
+let () =
+  (* the continental WAN: flaky fiber in the "south" (§2's seismic zone) *)
+  let designed = Wan.Generators.africa_like ~seed:5 ~n:10 () in
+  Format.printf "designed topology: %a@." Wan.Topology.pp designed;
+
+  (* 1. probability estimation from telemetry *)
+  let topo = Failure.Trace.calibrate_topology ~seed:42 ~horizon:5000. designed in
+  Format.printf "calibrated link failure probabilities from %d days of telemetry@.@."
+    5000;
+
+  let pairs = [ (0, 7); (1, 8); (2, 9); (5, 8) ] in
+  let paths = Netpath.Path_set.compute ~n_primary:2 ~n_backup:1 topo pairs in
+  let demand = Traffic.Demand.of_list (List.map (fun p -> (p, 60.)) pairs) in
+  let envelope = Traffic.Envelope.around ~slack:0.3 demand in
+
+  (* 2. what a k <= 2 failure analysis predicts *)
+  let k2 =
+    Raha.Baselines.k_failures ~options:(Raha.Analysis.with_timeout 30.) ~k:2 topo paths
+      envelope
+  in
+  Format.printf "k <= 2 analysis:@.%a@.@." Raha.Analysis.pp_report k2;
+
+  (* 3. Raha over all probable scenarios *)
+  let spec =
+    {
+      Raha.Bilevel.default_spec with
+      Raha.Bilevel.threshold = Some 1e-6;
+      encoding = Raha.Bilevel.Strong_duality { levels = 3 };
+    }
+  in
+  let options = { (Raha.Analysis.with_timeout 60.) with spec } in
+  let raha = Raha.Analysis.analyze ~options topo paths envelope in
+  Format.printf "Raha (all scenarios with probability >= 1e-6):@.%a@.@."
+    Raha.Analysis.pp_report raha;
+
+  (* 4. replay in the simulator *)
+  (match
+     Te.Simulate.degradation topo paths raha.Raha.Analysis.worst_demand
+       raha.Raha.Analysis.scenario
+   with
+  | Some deg ->
+    Format.printf "replayed in the simulator: the network drops %.1f units (%.0f%% of \
+                   what the healthy network carries)@."
+      deg
+      (100. *. deg /. Float.max 1e-9 raha.Raha.Analysis.healthy_performance)
+  | None -> Format.printf "replay infeasible@.");
+  let ratio =
+    raha.Raha.Analysis.degradation /. Float.max 1e-9 k2.Raha.Analysis.degradation
+  in
+  Format.printf
+    "@.the probable-scenario analysis finds %.1fx the degradation the k <= 2 tools \
+     saw — the §2 incident in miniature@."
+    ratio

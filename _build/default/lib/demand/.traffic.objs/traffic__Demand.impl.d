@@ -1,0 +1,1 @@
+lib/demand/demand.ml: Float Format List Map

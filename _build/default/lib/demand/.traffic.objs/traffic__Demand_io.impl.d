@@ -1,0 +1,1 @@
+lib/demand/demand_io.ml: Buffer Demand Fun List Printf String

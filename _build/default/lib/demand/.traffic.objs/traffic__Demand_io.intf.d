@@ -1,0 +1,1 @@
+lib/demand/demand_io.mli: Demand

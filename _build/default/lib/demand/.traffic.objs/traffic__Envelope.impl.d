@@ -1,0 +1,1 @@
+lib/demand/envelope.ml: Demand Float List

@@ -1,0 +1,1 @@
+lib/demand/envelope.mli: Demand

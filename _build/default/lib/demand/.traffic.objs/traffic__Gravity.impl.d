@@ -1,0 +1,1 @@
+lib/demand/gravity.ml: Array Demand Float Fun List Random Wan

@@ -1,0 +1,1 @@
+lib/demand/gravity.mli: Demand Wan

@@ -1,0 +1,1 @@
+lib/demand/traffic_gen.ml: Array Demand Float List Random

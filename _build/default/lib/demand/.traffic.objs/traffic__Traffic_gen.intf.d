@@ -1,0 +1,1 @@
+lib/demand/traffic_gen.mli: Demand Wan

@@ -1,0 +1,34 @@
+type t = { lo : Demand.t; hi : Demand.t }
+
+let fixed d = { lo = d; hi = d }
+
+let from_zero ~slack base =
+  if slack < 0. then invalid_arg "Envelope.from_zero: negative slack";
+  {
+    lo = Demand.map (fun ~src:_ ~dst:_ _ -> 0.) base;
+    hi = Demand.scale (1. +. slack) base;
+  }
+
+let around ~slack base =
+  if slack < 0. then invalid_arg "Envelope.around: negative slack";
+  {
+    lo = Demand.map (fun ~src:_ ~dst:_ v -> Float.max 0. ((1. -. slack) *. v)) base;
+    hi = Demand.scale (1. +. slack) base;
+  }
+
+let unbounded ~cap pairs =
+  if cap <= 0. then invalid_arg "Envelope.unbounded: non-positive cap";
+  let zero = Demand.of_list (List.map (fun p -> (p, 0.)) pairs) in
+  { lo = zero; hi = Demand.map (fun ~src:_ ~dst:_ _ -> cap) zero }
+
+let pairs t = Demand.pairs t.hi
+
+let is_fixed t =
+  List.for_all
+    (fun (src, dst) ->
+      Float.abs (Demand.volume t.lo ~src ~dst -. Demand.volume t.hi ~src ~dst) < 1e-12)
+    (pairs t)
+
+let max_hi t = List.fold_left (fun acc (_, v) -> Float.max acc v) 0. (Demand.entries t.hi)
+let lo_volume t = Demand.volume t.lo
+let hi_volume t = Demand.volume t.hi

@@ -1,0 +1,39 @@
+(** Demand envelopes: the space of demand matrices the adversary may
+    choose from.
+
+    The paper's outer problem picks demands inside a per-pair interval:
+    either fixed (a concrete matrix, §5.1 "worst case failure for a
+    specific demand"), a slack interval around a base matrix (Fig. 1
+    middle: +/-50%), or [0, (1 + slack) * base] (§8.3 / Fig. 7). *)
+
+type t = {
+  lo : Demand.t;
+  hi : Demand.t;  (** both over the same pair set *)
+}
+
+(** Fixed demands: [lo = hi = d]. *)
+val fixed : Demand.t -> t
+
+(** [from_zero ~slack base]: each demand ranges over
+    [[0, (1 + slack) * base_k]] — the §8.3 experiment design. *)
+val from_zero : slack:float -> Demand.t -> t
+
+(** [around ~slack base]: [[max 0 ((1 - slack) base_k), (1 + slack) base_k]]
+    — the Fig. 1 middle-scenario design. *)
+val around : slack:float -> Demand.t -> t
+
+(** [unbounded ~cap pairs]: each pair ranges over [[0, cap]] — "any
+    demand" analyses with a bottleneck guard (Fig. 8 caps demands at half
+    the average LAG capacity). *)
+val unbounded : cap:float -> (int * int) list -> t
+
+val pairs : t -> (int * int) list
+
+(** True when [lo = hi] pointwise. *)
+val is_fixed : t -> bool
+
+(** Largest upper bound across pairs (used for big-M constants). *)
+val max_hi : t -> float
+
+val lo_volume : t -> src:int -> dst:int -> float
+val hi_volume : t -> src:int -> dst:int -> float

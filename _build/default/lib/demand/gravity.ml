@@ -1,0 +1,16 @@
+let generate ?pairs ~scale ~seed topo () =
+  let n = Wan.Topology.num_nodes topo in
+  let rng = Random.State.make [| seed |] in
+  let mass = Array.init n (fun _ -> Float.exp (Random.State.float rng 2.)) in
+  let pairs =
+    match pairs with
+    | Some ps -> ps
+    | None ->
+      List.concat_map
+        (fun i -> List.filter_map (fun j -> if i <> j then Some (i, j) else None) (List.init n Fun.id))
+        (List.init n Fun.id)
+  in
+  let raw = List.map (fun (i, j) -> ((i, j), mass.(i) *. mass.(j))) pairs in
+  let peak = List.fold_left (fun acc (_, v) -> Float.max acc v) 0. raw in
+  if peak <= 0. then Demand.empty
+  else Demand.of_list (List.map (fun (p, v) -> (p, scale *. v /. peak)) raw)

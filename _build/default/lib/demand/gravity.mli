@@ -1,0 +1,17 @@
+(** Gravity-model demand generation.
+
+    The paper's MLU experiments "generate the demand from a gravity model
+    with a scale factor of 100 Gbps" (§8.1). Node masses are sampled
+    log-uniformly; demand between [i] and [j] is proportional to
+    [mass i * mass j]. *)
+
+(** [generate topo ~scale ~seed ()] produces demands for all ordered node
+    pairs, normalized so the largest single demand equals [scale].
+    [pairs] restricts generation to the given pairs. *)
+val generate :
+  ?pairs:(int * int) list ->
+  scale:float ->
+  seed:int ->
+  Wan.Topology.t ->
+  unit ->
+  Demand.t

@@ -1,0 +1,1 @@
+lib/failure/enumerate.ml: Array Float List Printf Probability Scenario Wan

@@ -1,0 +1,1 @@
+lib/failure/enumerate.mli: Scenario Wan

@@ -1,0 +1,1 @@
+lib/failure/probability.ml: Array Float List Scenario Wan

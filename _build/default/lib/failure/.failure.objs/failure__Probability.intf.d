@@ -1,0 +1,1 @@
+lib/failure/probability.mli: Scenario Wan

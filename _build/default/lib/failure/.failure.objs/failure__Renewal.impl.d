@@ -1,0 +1,1 @@
+lib/failure/renewal.ml: Float List

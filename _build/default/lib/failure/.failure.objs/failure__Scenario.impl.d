@@ -1,0 +1,1 @@
+lib/failure/scenario.ml: Array Float Format List Printf Set String Wan

@@ -1,0 +1,1 @@
+lib/failure/scenario.mli: Format Wan

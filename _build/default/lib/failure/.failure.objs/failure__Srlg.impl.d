@@ -1,0 +1,1 @@
+lib/failure/srlg.ml: Array List Scenario Wan

@@ -1,0 +1,1 @@
+lib/failure/srlg.mli: Scenario Wan

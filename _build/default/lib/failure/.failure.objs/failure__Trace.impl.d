@@ -1,0 +1,1 @@
+lib/failure/trace.ml: Array Float List Random Renewal Wan

@@ -1,0 +1,1 @@
+lib/failure/trace.mli: Renewal Wan

@@ -1,0 +1,92 @@
+let all_links topo =
+  let acc = ref [] in
+  Array.iter
+    (fun (lag : Wan.Lag.t) ->
+      Array.iteri (fun i _ -> acc := (lag.Wan.Lag.lag_id, i) :: !acc) lag.Wan.Lag.links)
+    (Wan.Topology.lags topo);
+  List.rev !acc
+
+let binomial n k =
+  let k = min k (n - k) in
+  if k < 0 then 0
+  else begin
+    let acc = ref 1 in
+    for i = 0 to k - 1 do
+      acc := !acc * (n - i) / (i + 1)
+    done;
+    !acc
+  end
+
+let count_up_to_k topo ~k =
+  let n = List.length (all_links topo) in
+  let rec sum i acc = if i > min k n then acc else sum (i + 1) (acc + binomial n i) in
+  sum 0 0
+
+let up_to_k topo ~k =
+  if k < 0 then invalid_arg "Enumerate.up_to_k: k < 0";
+  let total = count_up_to_k topo ~k in
+  if total > 2_000_000 then
+    invalid_arg (Printf.sprintf "Enumerate.up_to_k: %d scenarios is too many" total);
+  let links = Array.of_list (all_links topo) in
+  let n = Array.length links in
+  let out = ref [] in
+  let rec choose start chosen remaining =
+    out := Scenario.of_links topo chosen :: !out;
+    if remaining > 0 then
+      for i = start to n - 1 do
+        choose (i + 1) (links.(i) :: chosen) (remaining - 1)
+      done
+  in
+  choose 0 [] (min k n);
+  List.rev !out
+
+let above_threshold ?(limit = 2_000_000) topo ~threshold =
+  if threshold <= 0. || threshold > 1. then
+    invalid_arg "Enumerate.above_threshold: threshold outside (0, 1]";
+  let log_t = Float.log threshold in
+  let base = Probability.log_prob_all_up topo in
+  if base < log_t then []
+  else begin
+    (* links sorted by decreasing cost so DFS can prune: once a link's
+       cost drops the running sum below log_t, so do all later links *)
+    let costs = Array.of_list (Probability.per_link_cost topo) in
+    let n = Array.length costs in
+    let out = ref [] and count = ref 0 in
+    let rec dfs i chosen logp =
+      incr count;
+      if !count > limit then invalid_arg "Enumerate.above_threshold: too many scenarios";
+      out := Scenario.of_links topo chosen :: !out;
+      let rec extend j =
+        if j < n then begin
+          let link, cost = costs.(j) in
+          let logp' = logp +. cost in
+          if logp' >= log_t then begin
+            dfs (j + 1) (link :: chosen) logp';
+            extend (j + 1)
+          end
+          (* costs are sorted descending: later j cannot qualify either *)
+        end
+      in
+      extend i
+    in
+    dfs 0 [] base;
+    List.rev !out
+  end
+
+let lag_failures_up_to_k topo ~k =
+  if k < 0 then invalid_arg "Enumerate.lag_failures_up_to_k: k < 0";
+  let lags = Wan.Topology.lags topo in
+  let m = Array.length lags in
+  let whole_lag (lag : Wan.Lag.t) =
+    List.init (Wan.Lag.num_links lag) (fun i -> (lag.Wan.Lag.lag_id, i))
+  in
+  let out = ref [] in
+  let rec choose start chosen remaining =
+    out := Scenario.of_links topo (List.concat chosen) :: !out;
+    if remaining > 0 then
+      for i = start to m - 1 do
+        choose (i + 1) (whole_lag lags.(i) :: chosen) (remaining - 1)
+      done
+  in
+  choose 0 [] (min k m);
+  List.rev !out

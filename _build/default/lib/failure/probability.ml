@@ -1,0 +1,30 @@
+let log_prob_all_up topo = Scenario.log_prob topo Scenario.empty
+
+let per_link_cost topo =
+  let entries = ref [] in
+  Array.iter
+    (fun (lag : Wan.Lag.t) ->
+      Array.iteri
+        (fun i (l : Wan.Lag.link) ->
+          let p = l.Wan.Lag.fail_prob in
+          let cost =
+            if p > 0. then Float.log p -. Float.log1p (-.p) else Float.neg_infinity
+          in
+          entries := ((lag.Wan.Lag.lag_id, i), cost) :: !entries)
+        lag.Wan.Lag.links)
+    (Wan.Topology.lags topo);
+  List.sort (fun (_, a) (_, b) -> compare b a) !entries
+
+let max_simultaneous_failures topo ~threshold =
+  if threshold <= 0. || threshold > 1. then
+    invalid_arg "Probability.max_simultaneous_failures: threshold outside (0, 1]";
+  let log_t = Float.log threshold in
+  let base = log_prob_all_up topo in
+  let rec greedy acc logp = function
+    | [] -> acc
+    | (link, cost) :: rest ->
+      let logp' = logp +. cost in
+      if logp' >= log_t then greedy (link :: acc) logp' rest else acc
+  in
+  let chosen = greedy [] base (per_link_cost topo) in
+  (List.length chosen, Scenario.of_links topo chosen)

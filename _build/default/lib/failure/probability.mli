@@ -1,0 +1,21 @@
+(** Scenario-probability utilities.
+
+    The probability-threshold constraint (§5.1) compares the log
+    probability of a failure scenario against [log T]. These helpers
+    answer questions like Figure 2's: how many links can simultaneously
+    fail while the scenario probability stays above a threshold? *)
+
+(** Log probability of the all-links-up scenario. *)
+val log_prob_all_up : Wan.Topology.t -> float
+
+(** [max_simultaneous_failures topo ~threshold] is the largest number of
+    links that can be simultaneously down in a scenario with probability
+    >= threshold, with one maximizing scenario. Links are failed greedily
+    in decreasing [log p - log (1 - p)] order, which is optimal for
+    maximizing the count. Returns [0, empty scenario] when even one
+    failure drops below the threshold. *)
+val max_simultaneous_failures : Wan.Topology.t -> threshold:float -> int * Scenario.t
+
+(** [per_link_cost topo] lists [((lag, link), log p - log (1-p))] — the
+    log-probability cost of failing each link, sorted most-likely first. *)
+val per_link_cost : Wan.Topology.t -> ((int * int) * float) list

@@ -1,0 +1,53 @@
+type event = { down_at : float; up_at : float }
+
+let validate events =
+  let rec check prev_up = function
+    | [] -> ()
+    | e :: rest ->
+      if e.down_at < prev_up then invalid_arg "Renewal: overlapping or unordered events";
+      if e.up_at <= e.down_at then invalid_arg "Renewal: non-positive outage duration";
+      check e.up_at rest
+  in
+  check Float.neg_infinity events
+
+let estimate ~horizon events =
+  if horizon <= 0. then invalid_arg "Renewal.estimate: non-positive horizon";
+  validate events;
+  let downtime =
+    List.fold_left
+      (fun acc e ->
+        let d = Float.min e.up_at horizon -. Float.min e.down_at horizon in
+        acc +. Float.max 0. d)
+      0. events
+  in
+  Float.min 1. (downtime /. horizon)
+
+let estimate_ratio events =
+  validate events;
+  match events with
+  | [] | [ _ ] -> invalid_arg "Renewal.estimate_ratio: need at least two events"
+  | first :: _ ->
+    (* cycles run repair to repair: X_i = up_{i+1} - up_i, R_i = downtime
+       of outage i+1 *)
+    let rec cycles prev acc_x acc_r n = function
+      | [] -> (acc_x, acc_r, n)
+      | e :: rest ->
+        cycles e (acc_x +. (e.up_at -. prev.up_at)) (acc_r +. (e.up_at -. e.down_at)) (n + 1) rest
+    in
+    let x, r, n = cycles first 0. 0. 0 (List.tl events) in
+    if n = 0 || x <= 0. then invalid_arg "Renewal.estimate_ratio: degenerate trace"
+    else r /. x
+
+let mtbf events =
+  validate events;
+  match events with
+  | [] | [ _ ] -> invalid_arg "Renewal.mtbf: need at least two events"
+  | first :: rest ->
+    let last = List.fold_left (fun _ e -> e) first rest in
+    (last.down_at -. first.down_at) /. float_of_int (List.length rest)
+
+let mttr events =
+  validate events;
+  if events = [] then invalid_arg "Renewal.mttr: empty trace";
+  List.fold_left (fun acc e -> acc +. (e.up_at -. e.down_at)) 0. events
+  /. float_of_int (List.length events)

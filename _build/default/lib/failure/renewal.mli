@@ -1,0 +1,28 @@
+(** Renewal-reward estimation of link failure probabilities (Appendix B).
+
+    The renewal process splits time at repair instants; the reward of a
+    cycle is the downtime inside it. By the renewal reward theorem the
+    long-run fraction of time the link is down — its failure probability
+    — equals [E(R) / E(X)]. *)
+
+type event = { down_at : float; up_at : float }
+(** One outage: the link went down at [down_at] and was repaired at
+    [up_at]. *)
+
+(** [estimate ~horizon events] estimates the probability that the link is
+    down: total downtime / observation horizon. Events must be
+    chronological and non-overlapping; downtime past the horizon is
+    clipped.
+    @raise Invalid_argument on malformed traces. *)
+val estimate : horizon:float -> event list -> float
+
+(** [estimate_ratio events] uses the per-cycle renewal-reward form
+    [mean downtime per cycle / mean cycle length], where cycles run
+    repair-to-repair (needs >= 2 events). *)
+val estimate_ratio : event list -> float
+
+(** Mean time between failures of a trace (down_at deltas). *)
+val mtbf : event list -> float
+
+(** Mean time to repair. *)
+val mttr : event list -> float

@@ -1,0 +1,24 @@
+(** Synthetic link up/down telemetry.
+
+    Stands in for the production repair logs of §8.1 ("we know when a
+    link goes down and when it is repaired"): alternating exponential
+    up-times and down-times, so the true steady-state down probability is
+    [mttr / (mtbf_up + mttr)] and {!Renewal.estimate} can be validated
+    against it. *)
+
+(** [exponential ~seed ~mean_uptime ~mean_downtime ~horizon ()] simulates
+    one link until [horizon]. *)
+val exponential :
+  seed:int ->
+  mean_uptime:float ->
+  mean_downtime:float ->
+  horizon:float ->
+  unit ->
+  Renewal.event list
+
+(** [calibrate_topology ~seed ~horizon topo] simulates telemetry for every
+    link of [topo] whose failure probability matches its configured
+    [fail_prob], estimates probabilities with {!Renewal.estimate}, and
+    returns a topology with the estimated probabilities — the full
+    §8.1 pipeline, end to end. *)
+val calibrate_topology : seed:int -> horizon:float -> Wan.Topology.t -> Wan.Topology.t

@@ -1,0 +1,1 @@
+lib/milp/linearize.mli: Linexpr Model

@@ -1,0 +1,1 @@
+lib/milp/linexpr.ml: Array Float Format Int List Map

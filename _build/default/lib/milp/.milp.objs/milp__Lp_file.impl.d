@@ -1,0 +1,1 @@
+lib/milp/lp_file.ml: Array Buffer Float Fun Linexpr List Model Printf String

@@ -1,0 +1,1 @@
+lib/milp/solver.ml: Array Branch_bound Float Format Model Simplex Unix

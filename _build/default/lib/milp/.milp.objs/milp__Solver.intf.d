@@ -1,0 +1,1 @@
+lib/milp/solver.mli: Format Model

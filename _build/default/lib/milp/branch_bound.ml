@@ -1,0 +1,306 @@
+let src = Logs.Src.create "milp.bb" ~doc:"branch and bound"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type options = {
+  max_nodes : int;
+  time_limit : float;
+  abs_gap : float;
+  rel_gap : float;
+  int_tol : float;
+  log : bool;
+  branch_priority : int -> int;
+  warm_start : float array option;
+  plunge_hints : (int * float) list list;
+}
+
+let default =
+  {
+    max_nodes = 200_000;
+    time_limit = Float.infinity;
+    abs_gap = 1e-6;
+    rel_gap = 1e-6;
+    int_tol = 1e-6;
+    log = false;
+    branch_priority = (fun _ -> 0);
+    warm_start = None;
+    plunge_hints = [];
+  }
+
+type outcome = Optimal | Feasible | No_incumbent | Infeasible | Unbounded
+
+type stats = { nodes : int; simplex_iters : int; elapsed : float }
+
+type t = {
+  outcome : outcome;
+  obj : float;
+  bound : float;
+  values : float array;
+  stats : stats;
+}
+
+type node = { nlb : float array; nub : float array; depth : int; parent_bound : float }
+
+(* Max-heap of nodes keyed on (parent bound, depth): explore the most
+   promising bound first, diving deeper on ties. *)
+module Heap = struct
+  type elt = { key : float; depth : int; node : node }
+  type h = { mutable a : elt array; mutable len : int }
+
+  let dummy_node = { nlb = [||]; nub = [||]; depth = 0; parent_bound = 0. }
+  let dummy = { key = neg_infinity; depth = 0; node = dummy_node }
+  let create () = { a = Array.make 64 dummy; len = 0 }
+  let better x y = x.key > y.key || (x.key = y.key && x.depth > y.depth)
+
+  let push h e =
+    if h.len = Array.length h.a then begin
+      let a' = Array.make (2 * h.len) dummy in
+      Array.blit h.a 0 a' 0 h.len;
+      h.a <- a'
+    end;
+    h.a.(h.len) <- e;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && better h.a.(!i) h.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.len <- h.len - 1;
+      h.a.(0) <- h.a.(h.len);
+      h.a.(h.len) <- dummy;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let best = ref !i in
+        if l < h.len && better h.a.(l) h.a.(!best) then best := l;
+        if r < h.len && better h.a.(r) h.a.(!best) then best := r;
+        if !best = !i then continue := false
+        else begin
+          let tmp = h.a.(!best) in
+          h.a.(!best) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !best
+        end
+      done;
+      Some top
+    end
+
+  let best_key h = if h.len = 0 then None else Some h.a.(0).key
+end
+
+let solve ?(options = default) model =
+  let t0 = Unix.gettimeofday () in
+  let sense, _ = Model.objective model in
+  (* Work internally as maximization. *)
+  let osign = match sense with Model.Maximize -> 1. | Model.Minimize -> -1. in
+  let int_ids = Array.of_list (Model.int_var_ids model) in
+  let nv = Model.num_vars model in
+  let lb0, ub0 = Model.bounds model in
+  let nodes = ref 0 and simplex0 = Simplex.last_iterations () in
+  let incumbent = ref None in
+  let incumbent_obj = ref neg_infinity in
+  let consider_incumbent values obj =
+    if obj > !incumbent_obj then begin
+      incumbent := Some (Array.copy values);
+      incumbent_obj := obj;
+      if options.log then
+        Log.info (fun f -> f "new incumbent %.6g at node %d" (osign *. obj) !nodes)
+    end
+  in
+  (match options.warm_start with
+  | Some v when Model.check_feasible ~tol:options.int_tol model v = None ->
+    consider_incumbent v (osign *. Model.objective_value model v)
+  | Some _ | None -> ());
+  (* Plunge heuristic: from a node's bounds, repeatedly fix the most
+     fractional integer variable to its rounded value and re-solve the
+     LP. One flip retry per variable on infeasibility. Produces integral
+     incumbents early, which best-first search alone can fail to do. *)
+  let plunge nlb nub =
+    let lb = Array.copy nlb and ub = Array.copy nub in
+    let budget = (2 * Array.length int_ids) + 20 in
+    let rec go iters =
+      if iters > budget then None
+      else
+        match Simplex.solve ~lb ~ub model with
+        | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iter_limit -> None
+        | Simplex.Optimal { obj; values } ->
+          let bound = osign *. obj in
+          if bound <= !incumbent_obj +. options.abs_gap then None
+          else begin
+            (* most fractional *)
+            let best = ref (-1) and best_frac = ref options.int_tol in
+            Array.iter
+              (fun id ->
+                let x = values.(id) in
+                let frac = Float.abs (x -. Float.round x) in
+                if frac > !best_frac then begin
+                  best := id;
+                  best_frac := frac
+                end)
+              int_ids;
+            if !best < 0 then Some (values, bound)
+            else begin
+              let id = !best in
+              let r = Float.round values.(id) in
+              let saved_lb = lb.(id) and saved_ub = ub.(id) in
+              lb.(id) <- r;
+              ub.(id) <- r;
+              match Simplex.solve ~lb ~ub model with
+              | Simplex.Optimal _ -> go (iters + 1)
+              | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iter_limit ->
+                (* flip once *)
+                let r' = if r > values.(id) then Float.floor values.(id) else Float.ceil values.(id) in
+                if r' >= saved_lb -. 1e-9 && r' <= saved_ub +. 1e-9 && r' <> r then begin
+                  lb.(id) <- r';
+                  ub.(id) <- r';
+                  go (iters + 1)
+                end
+                else None
+            end
+          end
+    in
+    go 0
+  in
+  let try_plunge nlb nub =
+    match plunge nlb nub with
+    | Some (values, obj) ->
+      (match Model.check_feasible ~tol:(10. *. options.int_tol) model values with
+      | None -> consider_incumbent values obj
+      | Some _ -> ())
+    | None -> ()
+  in
+  let find_fractional values =
+    (* most fractional among the highest branch priority class *)
+    let best = ref (-1) and best_pri = ref min_int and best_frac = ref options.int_tol in
+    Array.iter
+      (fun id ->
+        let x = values.(id) in
+        let frac = Float.abs (x -. Float.round x) in
+        if frac > options.int_tol then begin
+          let pri = options.branch_priority id in
+          if pri > !best_pri || (pri = !best_pri && frac > !best_frac) then begin
+            best := id;
+            best_pri := pri;
+            best_frac := frac
+          end
+        end)
+      int_ids;
+    if !best < 0 then None else Some !best
+  in
+  (* Seed incumbents from caller-provided partial assignments: fix the
+     hinted variables and plunge. When a hint fixes all the structural
+     binaries the plunge is a single LP solve. *)
+  List.iter
+    (fun hint ->
+      let lb = Array.copy lb0 and ub = Array.copy ub0 in
+      let ok =
+        List.for_all
+          (fun (id, v) ->
+            id >= 0 && id < nv && v >= lb.(id) -. 1e-9 && v <= ub.(id) +. 1e-9)
+          hint
+      in
+      if ok then begin
+        List.iter
+          (fun (id, v) ->
+            lb.(id) <- v;
+            ub.(id) <- v)
+          hint;
+        try_plunge lb ub
+      end)
+    options.plunge_hints;
+  let heap = Heap.create () in
+  let root = { nlb = lb0; nub = ub0; depth = 0; parent_bound = infinity } in
+  Heap.push heap { key = infinity; depth = 0; node = root };
+  let status = ref `Running in
+  let time_up () = Unix.gettimeofday () -. t0 > options.time_limit in
+  let gap_closed bound =
+    match !incumbent with
+    | None -> false
+    | Some _ ->
+      bound -. !incumbent_obj <= options.abs_gap
+      || bound -. !incumbent_obj <= options.rel_gap *. Float.max 1. (Float.abs !incumbent_obj)
+  in
+  while !status = `Running do
+    match Heap.pop heap with
+    | None -> status := `Exhausted
+    | Some { key = parent_key; node; _ } ->
+      if gap_closed parent_key then status := `Gap_closed
+      else if !nodes >= options.max_nodes || time_up () then status := `Limit
+      else begin
+        incr nodes;
+        match Simplex.solve ~lb:node.nlb ~ub:node.nub model with
+        | Simplex.Infeasible -> ()
+        | Simplex.Iter_limit ->
+          (* Treat as unresolved: keep the parent bound, re-queueing would
+             loop, so we conservatively drop the node but widen the gap
+             via the parent key. This is rare with the default budget. *)
+          if options.log then Log.warn (fun f -> f "simplex iteration limit at node %d" !nodes)
+        | Simplex.Unbounded ->
+          if node.depth = 0 && !incumbent = None then status := `Unbounded_root
+          else ()
+        | Simplex.Optimal { obj; values } ->
+          let bound = osign *. obj in
+          if bound <= !incumbent_obj +. options.abs_gap then () (* pruned *)
+          else begin
+            let branch_on id =
+              let x = values.(id) in
+              let fl = Float.floor x and ce = Float.ceil x in
+              let mk which =
+                let nlb = Array.copy node.nlb and nub = Array.copy node.nub in
+                (match which with
+                | `Down -> nub.(id) <- fl
+                | `Up -> nlb.(id) <- ce);
+                if nlb.(id) <= nub.(id) +. 1e-12 then
+                  Heap.push heap
+                    {
+                      key = bound;
+                      depth = node.depth + 1;
+                      node = { nlb; nub; depth = node.depth + 1; parent_bound = bound };
+                    }
+              in
+              (* dive toward the rounded value first (heap tiebreak on depth) *)
+              if x -. fl > 0.5 then (mk `Down; mk `Up) else (mk `Up; mk `Down)
+            in
+            match find_fractional values with
+            | None -> consider_incumbent values bound
+            | Some id ->
+              (* dive for an incumbent at the root and periodically until
+                 one exists, then keep branching *)
+              if
+                !nodes = 1
+                || (!incumbent = None && !nodes mod 40 = 0)
+                || !nodes mod 400 = 0
+              then try_plunge node.nlb node.nub;
+              if bound > !incumbent_obj +. options.abs_gap then branch_on id
+          end
+      end
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let best_bound =
+    match (!status, Heap.best_key heap) with
+    | `Exhausted, _ | `Gap_closed, None -> !incumbent_obj
+    | _, Some k -> Float.max k !incumbent_obj
+    | _, None -> !incumbent_obj
+  in
+  let stats =
+    { nodes = !nodes; simplex_iters = Simplex.last_iterations () - simplex0; elapsed }
+  in
+  let values = match !incumbent with Some v -> v | None -> Array.make nv 0. in
+  let mk outcome obj bound = { outcome; obj; bound; values; stats } in
+  match (!status, !incumbent) with
+  | `Unbounded_root, _ -> mk Unbounded infinity infinity
+  | (`Exhausted | `Gap_closed), Some _ ->
+    mk Optimal (osign *. !incumbent_obj) (osign *. best_bound)
+  | `Exhausted, None -> mk Infeasible nan nan
+  | `Limit, Some _ -> mk Feasible (osign *. !incumbent_obj) (osign *. best_bound)
+  | (`Limit | `Gap_closed), None -> mk No_incumbent nan (osign *. best_bound)
+  | `Running, _ -> assert false

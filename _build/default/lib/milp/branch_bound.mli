@@ -1,0 +1,52 @@
+(** Branch-and-bound MILP solver over the {!Simplex} LP solver.
+
+    Best-bound search with a depth tiebreak, variable branching priorities
+    (the Raha encodings branch on link-failure binaries first), an optional
+    warm-start incumbent, and node/time limits. Time limits make the solver
+    return its best incumbent together with the remaining bound — this is
+    the "timeout" behaviour §6 of the paper relies on. *)
+
+type options = {
+  max_nodes : int;  (** node budget; default 200_000 *)
+  time_limit : float;  (** wall-clock seconds; default [infinity] *)
+  abs_gap : float;  (** stop when [bound - incumbent <= abs_gap] *)
+  rel_gap : float;  (** stop on relative gap; default 1e-6 *)
+  int_tol : float;  (** integrality tolerance; default 1e-6 *)
+  log : bool;  (** emit progress on [Logs] *)
+  branch_priority : int -> int;
+      (** Higher priority variables are branched first; default [fun _ -> 0]. *)
+  warm_start : float array option;
+      (** Candidate solution checked for feasibility and used as the
+          initial incumbent. *)
+  plunge_hints : (int * float) list list;
+      (** Partial assignments [(var id, value)]: each is fixed into the
+          root bounds and plunged for an initial incumbent. Raha seeds
+          these with concrete candidate failure scenarios. *)
+}
+
+val default : options
+
+type outcome =
+  | Optimal  (** incumbent proven optimal within the gap *)
+  | Feasible  (** limits hit with an incumbent in hand *)
+  | No_incumbent  (** limits hit before any incumbent was found *)
+  | Infeasible
+  | Unbounded
+
+type stats = {
+  nodes : int;
+  simplex_iters : int;
+  elapsed : float;
+}
+
+type t = {
+  outcome : outcome;
+  obj : float;  (** incumbent objective (meaningful for Optimal/Feasible) *)
+  bound : float;  (** best remaining dual bound *)
+  values : float array;  (** incumbent point, indexed by variable id *)
+  stats : stats;
+}
+
+(** Solve the MILP. The returned [bound] always brackets the true optimum:
+    for maximization, [obj <= optimum <= bound]. *)
+val solve : ?options:options -> Model.t -> t

@@ -1,0 +1,76 @@
+(* Variable names must be LP-format safe: alphanumerics plus a few
+   symbols, not starting with a digit or 'e'. We emit x<id> and keep the
+   human name in a comment header. *)
+
+let var_name id = Printf.sprintf "x%d" id
+
+let append_expr b e =
+  let first = ref true in
+  Linexpr.iter
+    (fun id c ->
+      if c <> 0. then begin
+        if c < 0. then Buffer.add_string b (if !first then "-" else "- ")
+        else if not !first then Buffer.add_string b "+ ";
+        let mag = Float.abs c in
+        if mag <> 1. then Buffer.add_string b (Printf.sprintf "%.12g " mag);
+        Buffer.add_string b (var_name id);
+        Buffer.add_char b ' ';
+        first := false
+      end)
+    e;
+  if !first then Buffer.add_string b "0 "
+
+let to_string m =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (Printf.sprintf "\\ model: %s\n" (Model.name m));
+  Array.iter
+    (fun (v : Model.var) ->
+      Buffer.add_string b (Printf.sprintf "\\ %s = %s\n" (var_name v.Model.vid) v.Model.vname))
+    (Model.vars m);
+  let sense, obj = Model.objective m in
+  Buffer.add_string b
+    (match sense with Model.Maximize -> "Maximize\n obj: " | Model.Minimize -> "Minimize\n obj: ");
+  append_expr b obj;
+  Buffer.add_string b "\nSubject To\n";
+  Array.iteri
+    (fun i (c : Model.cons) ->
+      Buffer.add_string b (Printf.sprintf " c%d: " i);
+      append_expr b c.Model.lhs;
+      let rel = match c.Model.rel with Model.Le -> "<=" | Model.Ge -> ">=" | Model.Eq -> "=" in
+      Buffer.add_string b (Printf.sprintf "%s %.12g\n" rel c.Model.rhs))
+    (Model.conss m);
+  Buffer.add_string b "Bounds\n";
+  Array.iter
+    (fun (v : Model.var) ->
+      let name = var_name v.Model.vid in
+      let lb =
+        if v.Model.lb = Float.neg_infinity then "-inf" else Printf.sprintf "%.12g" v.Model.lb
+      in
+      let ub =
+        if v.Model.ub = Float.infinity then "+inf" else Printf.sprintf "%.12g" v.Model.ub
+      in
+      Buffer.add_string b (Printf.sprintf " %s <= %s <= %s\n" lb name ub))
+    (Model.vars m);
+  let of_kind k =
+    Array.to_list (Model.vars m)
+    |> List.filter_map (fun (v : Model.var) ->
+           if v.Model.kind = k then Some (var_name v.Model.vid) else None)
+  in
+  (match of_kind Model.Binary with
+  | [] -> ()
+  | bins ->
+    Buffer.add_string b "Binaries\n ";
+    Buffer.add_string b (String.concat " " bins);
+    Buffer.add_char b '\n');
+  (match of_kind Model.Integer with
+  | [] -> ()
+  | ints ->
+    Buffer.add_string b "Generals\n ";
+    Buffer.add_string b (String.concat " " ints);
+    Buffer.add_char b '\n');
+  Buffer.add_string b "End\n";
+  Buffer.contents b
+
+let write m path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string m))

@@ -1,0 +1,10 @@
+(** CPLEX-LP-format export of models.
+
+    Lets any encoding be inspected or cross-checked with an external
+    solver (the role Gurobi's model dumps play in the paper's workflow).
+    Only the subset needed for these models is emitted: objective, linear
+    constraints, bounds, binaries and generals. *)
+
+val to_string : Model.t -> string
+
+val write : Model.t -> string -> unit

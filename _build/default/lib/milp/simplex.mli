@@ -1,0 +1,31 @@
+(** Two-phase primal simplex for linear programs.
+
+    Implements the bounded-variable simplex method on a dense tableau:
+    variable bounds are handled natively (no bound rows), which keeps the
+    tableau small when branch-and-bound repeatedly tightens bounds.
+    Anti-cycling falls back to Bland's rule after a stall is detected. *)
+
+type result =
+  | Optimal of { obj : float; values : float array }
+      (** Proven optimal; [values] is indexed by model variable id. *)
+  | Infeasible
+  | Unbounded
+  | Iter_limit
+      (** The iteration budget was exhausted before optimality. *)
+
+(** [solve ?lb ?ub ?max_iters model] solves the LP relaxation of [model]
+    (integrality is ignored). [lb]/[ub] override the model's variable
+    bounds — branch-and-bound uses this to explore nodes without copying
+    the model. The default iteration budget is [50 * (rows + cols) + 200].
+
+    Integer kinds are ignored; the objective honours the model's sense. *)
+val solve :
+  ?lb:float array ->
+  ?ub:float array ->
+  ?max_iters:int ->
+  Model.t ->
+  result
+
+(** Number of simplex pivots performed by the last [solve] call
+    (diagnostic; useful for benchmarking). *)
+val last_iterations : unit -> int

@@ -1,0 +1,95 @@
+type options = {
+  time_limit : float;
+  max_nodes : int;
+  rel_gap : float;
+  log : bool;
+  branch_priority : int -> int;
+  warm_start : float array option;
+  plunge_hints : (int * float) list list;
+}
+
+let default_options =
+  {
+    time_limit = Float.infinity;
+    max_nodes = 200_000;
+    rel_gap = 1e-6;
+    log = false;
+    branch_priority = (fun _ -> 0);
+    warm_start = None;
+    plunge_hints = [];
+  }
+
+let with_time_limit t = { default_options with time_limit = t }
+
+type status = Optimal | Feasible | Infeasible | Unbounded | Unknown
+
+type solution = {
+  status : status;
+  obj : float;
+  bound : float;
+  values : float array;
+  nodes : int;
+  elapsed : float;
+}
+
+let solve ?(options = default_options) model =
+  let t0 = Unix.gettimeofday () in
+  if Model.num_int_vars model = 0 then
+    match Simplex.solve model with
+    | Simplex.Optimal { obj; values } ->
+      { status = Optimal; obj; bound = obj; values; nodes = 0;
+        elapsed = Unix.gettimeofday () -. t0 }
+    | Simplex.Infeasible ->
+      { status = Infeasible; obj = nan; bound = nan; values = [||]; nodes = 0;
+        elapsed = Unix.gettimeofday () -. t0 }
+    | Simplex.Unbounded ->
+      { status = Unbounded; obj = infinity; bound = infinity; values = [||]; nodes = 0;
+        elapsed = Unix.gettimeofday () -. t0 }
+    | Simplex.Iter_limit ->
+      { status = Unknown; obj = nan; bound = nan; values = [||]; nodes = 0;
+        elapsed = Unix.gettimeofday () -. t0 }
+  else begin
+    let bb_options =
+      {
+        Branch_bound.default with
+        max_nodes = options.max_nodes;
+        time_limit = options.time_limit;
+        rel_gap = options.rel_gap;
+        log = options.log;
+        branch_priority = options.branch_priority;
+        warm_start = options.warm_start;
+        plunge_hints = options.plunge_hints;
+      }
+    in
+    let r = Branch_bound.solve ~options:bb_options model in
+    let status =
+      match r.Branch_bound.outcome with
+      | Branch_bound.Optimal -> Optimal
+      | Branch_bound.Feasible -> Feasible
+      | Branch_bound.No_incumbent -> Unknown
+      | Branch_bound.Infeasible -> Infeasible
+      | Branch_bound.Unbounded -> Unbounded
+    in
+    {
+      status;
+      obj = r.Branch_bound.obj;
+      bound = r.Branch_bound.bound;
+      values = r.Branch_bound.values;
+      nodes = r.Branch_bound.stats.Branch_bound.nodes;
+      elapsed = r.Branch_bound.stats.Branch_bound.elapsed;
+    }
+  end
+
+let value sol (v : Model.var) =
+  if Array.length sol.values = 0 then nan else sol.values.(v.vid)
+
+let bool_value sol v = value sol v > 0.5
+
+let has_point sol = match sol.status with Optimal | Feasible -> true | _ -> false
+
+let pp_status ppf = function
+  | Optimal -> Format.pp_print_string ppf "optimal"
+  | Feasible -> Format.pp_print_string ppf "feasible"
+  | Infeasible -> Format.pp_print_string ppf "infeasible"
+  | Unbounded -> Format.pp_print_string ppf "unbounded"
+  | Unknown -> Format.pp_print_string ppf "unknown"

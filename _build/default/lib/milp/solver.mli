@@ -1,0 +1,50 @@
+(** Facade over {!Simplex} and {!Branch_bound}.
+
+    Dispatches pure LPs to the simplex and mixed-integer models to
+    branch-and-bound, with a single option record mirroring how Raha
+    configures its backend (§6: timeouts; §8: node budgets). *)
+
+type options = {
+  time_limit : float;  (** seconds of wall clock; default [infinity] *)
+  max_nodes : int;
+  rel_gap : float;
+  log : bool;
+  branch_priority : int -> int;
+  warm_start : float array option;
+  plunge_hints : (int * float) list list;
+      (** partial assignments plunged for initial incumbents; see
+          {!Branch_bound.options} *)
+}
+
+val default_options : options
+
+val with_time_limit : float -> options
+
+type status =
+  | Optimal
+  | Feasible  (** limits hit; incumbent available, bound reported *)
+  | Infeasible
+  | Unbounded
+  | Unknown  (** limits hit before any feasible point was found *)
+
+type solution = {
+  status : status;
+  obj : float;
+  bound : float;
+  values : float array;
+  nodes : int;
+  elapsed : float;
+}
+
+val solve : ?options:options -> Model.t -> solution
+
+(** [value sol v] reads variable [v] from the solution point. *)
+val value : solution -> Model.var -> float
+
+(** [bool_value sol v] rounds a binary variable to [true]/[false]. *)
+val bool_value : solution -> Model.var -> bool
+
+(** True when the solution carries a usable point (Optimal or Feasible). *)
+val has_point : solution -> bool
+
+val pp_status : Format.formatter -> status -> unit

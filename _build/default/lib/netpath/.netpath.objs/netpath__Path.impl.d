@@ -1,0 +1,1 @@
+lib/netpath/path.ml: Array Format Hashtbl Int List Printf String Wan

@@ -1,0 +1,1 @@
+lib/netpath/path.mli: Format Wan

@@ -1,0 +1,1 @@
+lib/netpath/path_set.ml: Hashtbl List Path Printf Shortest Wan

@@ -1,0 +1,1 @@
+lib/netpath/path_set.mli: Path Wan

@@ -1,0 +1,1 @@
+lib/netpath/shortest.ml: Array Hashtbl List Path Wan

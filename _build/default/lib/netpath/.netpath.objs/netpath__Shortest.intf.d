@@ -1,0 +1,1 @@
+lib/netpath/shortest.mli: Path Wan

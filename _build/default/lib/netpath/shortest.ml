@@ -1,0 +1,171 @@
+(* Binary-heap priority queue specialised to (float key, int payload). *)
+module Pq = struct
+  type t = { mutable keys : float array; mutable data : int array; mutable len : int }
+
+  let create () = { keys = Array.make 64 0.; data = Array.make 64 0; len = 0 }
+
+  let push q k v =
+    if q.len = Array.length q.keys then begin
+      let keys = Array.make (2 * q.len) 0. and data = Array.make (2 * q.len) 0 in
+      Array.blit q.keys 0 keys 0 q.len;
+      Array.blit q.data 0 data 0 q.len;
+      q.keys <- keys;
+      q.data <- data
+    end;
+    q.keys.(q.len) <- k;
+    q.data.(q.len) <- v;
+    q.len <- q.len + 1;
+    let i = ref (q.len - 1) in
+    while !i > 0 && q.keys.(!i) < q.keys.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tk = q.keys.(p) and td = q.data.(p) in
+      q.keys.(p) <- q.keys.(!i);
+      q.data.(p) <- q.data.(!i);
+      q.keys.(!i) <- tk;
+      q.data.(!i) <- td;
+      i := p
+    done
+
+  let pop q =
+    if q.len = 0 then None
+    else begin
+      let k = q.keys.(0) and v = q.data.(0) in
+      q.len <- q.len - 1;
+      q.keys.(0) <- q.keys.(q.len);
+      q.data.(0) <- q.data.(q.len);
+      let i = ref 0 and going = ref true in
+      while !going do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < q.len && q.keys.(l) < q.keys.(!m) then m := l;
+        if r < q.len && q.keys.(r) < q.keys.(!m) then m := r;
+        if !m = !i then going := false
+        else begin
+          let tk = q.keys.(!m) and td = q.data.(!m) in
+          q.keys.(!m) <- q.keys.(!i);
+          q.data.(!m) <- q.data.(!i);
+          q.keys.(!i) <- tk;
+          q.data.(!i) <- td;
+          i := !m
+        end
+      done;
+      Some (k, v)
+    end
+end
+
+let hop_count _ = 1.
+
+let dijkstra ?(weight = hop_count) ?(avoid_lags = fun _ -> false)
+    ?(avoid_nodes = fun _ -> false) topo ~src ~dst =
+  let n = Wan.Topology.num_nodes topo in
+  if src < 0 || src >= n || dst < 0 || dst >= n then invalid_arg "Shortest.dijkstra";
+  if src = dst then invalid_arg "Shortest.dijkstra: src = dst";
+  let dist = Array.make n infinity in
+  let prev_lag = Array.make n (-1) in
+  let prev_node = Array.make n (-1) in
+  let settled = Array.make n false in
+  let q = Pq.create () in
+  dist.(src) <- 0.;
+  Pq.push q 0. src;
+  let rec loop () =
+    match Pq.pop q with
+    | None -> ()
+    | Some (d, v) ->
+      if settled.(v) then loop ()
+      else if v = dst then ()
+      else begin
+        settled.(v) <- true;
+        List.iter
+          (fun (w, lag_id) ->
+            if (not settled.(w)) && (not (avoid_lags lag_id)) && not (avoid_nodes w)
+            then begin
+              let wt = weight lag_id in
+              if wt < 0. then invalid_arg "Shortest: negative weight";
+              let nd = d +. wt in
+              if nd < dist.(w) -. 1e-12 then begin
+                dist.(w) <- nd;
+                prev_lag.(w) <- lag_id;
+                prev_node.(w) <- v;
+                Pq.push q nd w
+              end
+            end)
+          (Wan.Topology.neighbors topo v);
+        loop ()
+      end
+  in
+  (if not (avoid_nodes src || avoid_nodes dst) then loop ());
+  if dist.(dst) = infinity then None
+  else begin
+    let rec trace v acc = if v = src then v :: acc else trace prev_node.(v) (v :: acc) in
+    Some (Path.make topo (trace dst []))
+  end
+
+let yen ?(weight = hop_count) topo ~src ~dst k =
+  if k <= 0 then []
+  else
+    match dijkstra ~weight topo ~src ~dst with
+    | None -> []
+    | Some first ->
+      let accepted = ref [ first ] in
+      (* candidate set keyed by path to avoid duplicates *)
+      let candidates = ref [] in
+      let add_candidate p =
+        if
+          (not (List.exists (Path.equal p) !accepted))
+          && not (List.exists (Path.equal p) !candidates)
+        then candidates := p :: !candidates
+      in
+      let rec iterate () =
+        if List.length !accepted >= k then ()
+        else begin
+          let last = List.hd !accepted in
+          let last_nodes = Path.node_list last in
+          (* spur from every prefix of the last accepted path *)
+          let rec spurs prefix_rev rest =
+            match rest with
+            | [] | [ _ ] -> ()
+            | spur_node :: _ ->
+              let prefix = List.rev (spur_node :: prefix_rev) in
+              let plen = List.length prefix in
+              (* lags to avoid: the next hop of any accepted path sharing
+                 this prefix *)
+              let avoid = Hashtbl.create 8 in
+              List.iter
+                (fun (p : Path.t) ->
+                  let pn = Path.node_list p in
+                  let rec take n = function
+                    | [] -> []
+                    | _ when n = 0 -> []
+                    | x :: tl -> x :: take (n - 1) tl
+                  in
+                  if take plen pn = prefix && Path.length p >= plen then
+                    Hashtbl.replace avoid p.Path.lag_ids.(plen - 1) ())
+                !accepted;
+              let root_nodes = List.filter (fun v -> v <> spur_node) prefix in
+              let avoid_nodes v = List.mem v root_nodes in
+              let avoid_lags id = Hashtbl.mem avoid id in
+              (match dijkstra ~weight ~avoid_lags ~avoid_nodes topo ~src:spur_node ~dst with
+              | None -> ()
+              | Some spur ->
+                let total = prefix @ List.tl (Path.node_list spur) in
+                (* the concatenation can revisit nodes; Path.make rejects *)
+                (match Path.make topo total with
+                | p -> add_candidate p
+                | exception Invalid_argument _ -> ()));
+              spurs (spur_node :: prefix_rev) (List.tl rest)
+          in
+          spurs [] last_nodes;
+          match
+            List.sort
+              (fun a b -> compare (Path.weight weight a) (Path.weight weight b))
+              !candidates
+          with
+          | [] -> ()
+          | best :: rest ->
+            candidates := rest;
+            accepted := best :: !accepted;
+            iterate ()
+        end
+      in
+      iterate ();
+      List.rev !accepted

@@ -1,0 +1,22 @@
+(** Shortest-path algorithms over {!Wan.Topology}: Dijkstra and Yen's
+    k-shortest loopless paths. Raha runs k-shortest-path tunnel selection
+    when operators do not supply paths (§3). *)
+
+(** [dijkstra topo ~weight ~src ~dst] is the minimum-weight simple path,
+    or [None] if [dst] is unreachable. [weight] maps a LAG id to a
+    non-negative weight (default: hop count).
+    [avoid_lags]/[avoid_nodes] exclude parts of the graph (used by Yen's
+    spur computation). *)
+val dijkstra :
+  ?weight:(int -> float) ->
+  ?avoid_lags:(int -> bool) ->
+  ?avoid_nodes:(int -> bool) ->
+  Wan.Topology.t ->
+  src:int ->
+  dst:int ->
+  Path.t option
+
+(** [yen topo ~weight ~src ~dst k] lists up to [k] shortest loopless
+    paths in non-decreasing weight order (Yen's algorithm). *)
+val yen :
+  ?weight:(int -> float) -> Wan.Topology.t -> src:int -> dst:int -> int -> Path.t list

@@ -1,0 +1,1 @@
+lib/raha/alert.ml: Analysis Bilevel Milp Traffic

@@ -1,0 +1,1 @@
+lib/raha/alert.mli: Analysis Bilevel Netpath Traffic Wan

@@ -1,0 +1,1 @@
+lib/raha/analysis.ml: Array Bilevel Failure Failure_model Float Format Inner List Milp Netpath Option Te Traffic Wan

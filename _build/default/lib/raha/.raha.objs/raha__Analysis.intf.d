@@ -1,0 +1,1 @@
+lib/raha/analysis.mli: Bilevel Failure Format Milp Netpath Traffic Wan

@@ -1,0 +1,1 @@
+lib/raha/augment.ml: Analysis Array Failure Float Hashtbl List Milp Netpath Option Printf Te Wan

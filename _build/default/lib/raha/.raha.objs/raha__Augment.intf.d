@@ -1,0 +1,1 @@
+lib/raha/augment.mli: Analysis Netpath Traffic Wan

@@ -1,0 +1,1 @@
+lib/raha/baselines.ml: Analysis Bilevel Float Te Traffic Wan

@@ -1,0 +1,1 @@
+lib/raha/baselines.mli: Analysis Netpath Traffic Wan

@@ -1,0 +1,1 @@
+lib/raha/bilevel.ml: Array Failure Failure_model Float Hashtbl Inner List Milp Netpath Printf Te Traffic Wan

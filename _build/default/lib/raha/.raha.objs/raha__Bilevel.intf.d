@@ -1,0 +1,1 @@
+lib/raha/bilevel.mli: Failure Failure_model Inner Milp Netpath Te Traffic Wan

@@ -1,0 +1,1 @@
+lib/raha/cluster.ml: Analysis Array Float List Milp Queue Traffic Wan

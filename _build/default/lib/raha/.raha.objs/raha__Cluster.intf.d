@@ -1,0 +1,1 @@
+lib/raha/cluster.mli: Analysis Netpath Traffic Wan

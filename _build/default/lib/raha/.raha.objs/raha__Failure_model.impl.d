@@ -1,0 +1,1 @@
+lib/raha/failure_model.ml: Array Failure Float List Milp Netpath Printf Wan

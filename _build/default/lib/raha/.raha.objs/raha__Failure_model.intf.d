@@ -1,0 +1,1 @@
+lib/raha/failure_model.mli: Failure Milp Netpath Wan

@@ -1,0 +1,1 @@
+lib/raha/inner.ml: Array Float List Milp Printf Te

@@ -1,0 +1,1 @@
+lib/raha/inner.mli: Milp Te

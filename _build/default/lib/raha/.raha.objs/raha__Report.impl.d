@@ -1,0 +1,1 @@
+lib/raha/report.ml: Analysis Fun List Milp Printf String Traffic

@@ -1,0 +1,1 @@
+lib/raha/report.mli: Analysis

@@ -1,0 +1,36 @@
+(** Raha's online alerting pipeline (§1, §3).
+
+    Operationally Raha runs after every failure/topology change:
+    1. a {e fast} check (budgeted ~10 minutes in production) with the
+       demand fixed to the observed per-pair peak — alerts immediately if
+       a probable failure scenario degrades the network beyond the
+       operator's tolerance;
+    2. otherwise a {e deep} check (budgeted ~1 hour) over the whole
+       demand envelope, which alerts if {e any} admissible demand can be
+       degraded.
+
+    Budgets here are solver wall-clock seconds, scaled to the instance
+    size rather than the paper's production numbers. *)
+
+type stage = Fast_fixed_demand | Deep_variable_demand
+
+type verdict = {
+  alert : bool;
+  stage : stage option;  (** which stage raised the alert, if any *)
+  fast : Analysis.report;
+  deep : Analysis.report option;  (** [None] when the fast stage alerted *)
+}
+
+(** [run ~tolerance ~fast_budget ~deep_budget ~spec topo paths ~peak
+    envelope] executes the pipeline. [tolerance] is in normalized
+    degradation units (fractions of the average LAG capacity, §8.1). *)
+val run :
+  ?spec:Bilevel.spec ->
+  ?tolerance:float ->
+  ?fast_budget:float ->
+  ?deep_budget:float ->
+  Wan.Topology.t ->
+  Netpath.Path_set.t ->
+  peak:Traffic.Demand.t ->
+  Traffic.Envelope.t ->
+  verdict

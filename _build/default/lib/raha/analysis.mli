@@ -1,0 +1,63 @@
+(** Raha's front door: find the probable failure scenario and demand
+    matrix that maximize WAN degradation (Fig. 4).
+
+    Wraps {!Bilevel} with solving, limits (the §6 timeout feature — a
+    solve interrupted by its time budget still reports the incumbent and
+    the remaining optimality gap), result extraction, and the
+    normalization the paper reports (degradation / average LAG
+    capacity, §8.1). *)
+
+type options = {
+  spec : Bilevel.spec;
+  time_limit : float;  (** seconds; [infinity] disables *)
+  max_nodes : int;
+  rel_gap : float;
+  log : bool;
+  seed_enumeration : int option;
+      (** number of candidate scenarios (single-LAG failures, the greedy
+          most-probable multi-failure, the empty scenario) simulated and
+          fed to the solver as warm-start hints. [None] defaults to 6;
+          [Some 0] disables seeding. *)
+}
+
+val default_options : options
+
+(** [with_timeout seconds] — default options under a solver time budget. *)
+val with_timeout : float -> options
+
+type report = {
+  status : Milp.Solver.status;
+  degradation : float;  (** absolute, in traffic units (or MLU delta) *)
+  normalized : float;  (** degradation / average LAG capacity *)
+  bound : float;  (** proven upper bound on the degradation *)
+  scenario : Failure.Scenario.t;
+  scenario_prob : float;
+  num_failed_links : int;
+  worst_demand : Traffic.Demand.t;
+  healthy_performance : float;
+  failed_performance : float;
+  per_pair : ((int * int) * float * float) list;
+      (** per (src, dst): flow carried by the healthy network and by the
+          failed network at the worst-case demand — the §9 "isolate and
+          explain" breakdown. Empty when no incumbent exists. *)
+  elapsed : float;
+  nodes : int;
+}
+
+(** [analyze ~options topo paths envelope] solves the bi-level problem.
+    Reports with [status = Feasible] carry a valid incumbent plus bound
+    (timeout behaviour, §6); [Infeasible] means no scenario satisfies the
+    operator's constraints (e.g. threshold too high). *)
+val analyze :
+  ?options:options ->
+  Wan.Topology.t ->
+  Netpath.Path_set.t ->
+  Traffic.Envelope.t ->
+  report
+
+val pp_report : Format.formatter -> report -> unit
+
+(** Operator-facing incident explanation: the failed LAGs, the pairs that
+    lose traffic (healthy vs failed flow), and the demand that realizes
+    it. *)
+val pp_explanation : Wan.Topology.t -> Format.formatter -> report -> unit

@@ -1,0 +1,33 @@
+let k_failures ?(options = Analysis.default_options) ~k topo paths envelope =
+  let spec =
+    { options.Analysis.spec with Bilevel.max_failures = Some k; threshold = None }
+  in
+  Analysis.analyze ~options:{ options with Analysis.spec } topo paths envelope
+
+let worst_failures_at_demand ?(options = Analysis.default_options) topo paths demand =
+  let spec =
+    { options.Analysis.spec with Bilevel.goal = Bilevel.Min_failed_performance }
+  in
+  let r =
+    Analysis.analyze
+      ~options:{ options with Analysis.spec }
+      topo paths (Traffic.Envelope.fixed demand)
+  in
+  (* implied degradation relative to the design point at the same demand *)
+  match Te.Simulate.healthy ~objective:spec.Bilevel.objective topo paths demand with
+  | None -> r
+  | Some h ->
+    let healthy = h.Te.Simulate.performance in
+    let degradation =
+      match spec.Bilevel.objective with
+      | Te.Formulation.Mlu _ -> r.Analysis.failed_performance -. healthy
+      | Te.Formulation.Total_flow | Te.Formulation.Max_min _ ->
+        healthy -. r.Analysis.failed_performance
+    in
+    let avg_cap = Float.max 1e-9 (Wan.Topology.avg_lag_capacity topo) in
+    {
+      r with
+      Analysis.degradation;
+      normalized = degradation /. avg_cap;
+      healthy_performance = healthy;
+    }

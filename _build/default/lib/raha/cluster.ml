@@ -1,0 +1,124 @@
+let partition topo ~clusters =
+  let n = Wan.Topology.num_nodes topo in
+  if clusters < 1 then invalid_arg "Cluster.partition: clusters < 1";
+  let k = min clusters n in
+  let assign = Array.make n (-1) in
+  (* seeds: spread by repeated farthest-first traversal on hop distance *)
+  let bfs_dist src =
+    let dist = Array.make n max_int in
+    let q = Queue.create () in
+    dist.(src) <- 0;
+    Queue.add src q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      List.iter
+        (fun (w, _) ->
+          if dist.(w) = max_int then begin
+            dist.(w) <- dist.(v) + 1;
+            Queue.add w q
+          end)
+        (Wan.Topology.neighbors topo v)
+    done;
+    dist
+  in
+  let seeds = ref [ 0 ] in
+  while List.length !seeds < k do
+    (* farthest node from all current seeds *)
+    let dists = List.map bfs_dist !seeds in
+    let best = ref (-1) and bestd = ref (-1) in
+    for v = 0 to n - 1 do
+      let d =
+        List.fold_left (fun acc dist -> min acc (if dist.(v) = max_int then 0 else dist.(v))) max_int dists
+      in
+      if d > !bestd && not (List.mem v !seeds) then begin
+        best := v;
+        bestd := d
+      end
+    done;
+    seeds := !best :: !seeds
+  done;
+  (* multi-source BFS growth: each seed claims nodes in rounds *)
+  let q = Queue.create () in
+  List.iteri
+    (fun c s ->
+      assign.(s) <- c;
+      Queue.add s q)
+    (List.rev !seeds);
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun (w, _) ->
+        if assign.(w) = -1 then begin
+          assign.(w) <- assign.(v);
+          Queue.add w q
+        end)
+      (Wan.Topology.neighbors topo v)
+  done;
+  (* isolated leftovers (disconnected graphs): cluster 0 *)
+  Array.iteri (fun v c -> if c = -1 then assign.(v) <- 0) assign;
+  assign
+
+type result = {
+  report : Analysis.report;
+  demand : Traffic.Demand.t;
+  block_solves : int;
+  total_elapsed : float;
+}
+
+let analyze ?(options = Analysis.default_options) ~clusters topo paths envelope =
+  let assign = partition topo ~clusters in
+  let k = Array.fold_left max 0 assign + 1 in
+  let pairs = Traffic.Envelope.pairs envelope in
+  let n_solves = (k * k) + 1 in
+  let per_solve_budget =
+    if options.Analysis.time_limit = Float.infinity then Float.infinity
+    else options.Analysis.time_limit /. float_of_int n_solves
+  in
+  let options = { options with Analysis.time_limit = per_solve_budget } in
+  (* demands found so far; start from zero (Algorithm 1 line 3) *)
+  let current = ref (Traffic.Demand.of_list (List.map (fun p -> (p, 0.)) pairs)) in
+  let solves = ref 0 and elapsed = ref 0. in
+  for ci = 0 to k - 1 do
+    for cj = 0 to k - 1 do
+      let in_block (s, d) = assign.(s) = ci && assign.(d) = cj in
+      if List.exists in_block pairs then begin
+        (* free the block's demands, fix the rest at current values *)
+        let env' =
+          {
+            Traffic.Envelope.lo =
+              Traffic.Demand.map
+                (fun ~src ~dst v ->
+                  if in_block (src, dst) then
+                    Traffic.Envelope.lo_volume envelope ~src ~dst
+                  else v)
+                !current;
+            hi =
+              Traffic.Demand.map
+                (fun ~src ~dst v ->
+                  if in_block (src, dst) then
+                    Traffic.Envelope.hi_volume envelope ~src ~dst
+                  else v)
+                !current;
+          }
+        in
+        let r = Analysis.analyze ~options topo paths env' in
+        incr solves;
+        elapsed := !elapsed +. r.Analysis.elapsed;
+        if r.Analysis.status = Milp.Solver.Optimal || r.Analysis.status = Milp.Solver.Feasible
+        then
+          (* adopt the block's demands (Algorithm 1 line 11) *)
+          List.iter
+            (fun (s, d) ->
+              if in_block (s, d) then
+                current :=
+                  Traffic.Demand.set !current ~src:s ~dst:d
+                    (Traffic.Demand.volume r.Analysis.worst_demand ~src:s ~dst:d))
+            pairs
+      end
+    done
+  done;
+  (* final fixed-demand solve for the failure scenario *)
+  let report = Analysis.analyze ~options topo paths (Traffic.Envelope.fixed !current) in
+  incr solves;
+  elapsed := !elapsed +. report.Analysis.elapsed;
+  { report; demand = !current; block_solves = !solves; total_elapsed = !elapsed }

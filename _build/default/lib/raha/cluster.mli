@@ -1,0 +1,37 @@
+(** The clustering scheme of §6 (Algorithm 1).
+
+    Solving jointly for demands and failures on a large topology is slow;
+    Algorithm 1 approximates the worst-case demand matrix block by block:
+    nodes are partitioned into clusters, and for every (source cluster,
+    destination cluster) pair the demands of that block are freed while
+    all other demands stay fixed at the values found so far (initially
+    zero). Every block solve still sees the full topology, all paths and
+    all failure scenarios. A final solve with the assembled fixed demand
+    matrix produces the failure scenario.
+
+    Clustering trades optimality for runtime (§8.5: ~69% faster at ~15%
+    lower degradation in the paper's setup). *)
+
+(** [partition topo ~clusters] assigns each node a cluster id in
+    [0, clusters), by BFS growth from spread-out seeds (balanced,
+    connectivity-aware). *)
+val partition : Wan.Topology.t -> clusters:int -> int array
+
+type result = {
+  report : Analysis.report;  (** final full solve at the fixed demand *)
+  demand : Traffic.Demand.t;  (** the assembled demand matrix *)
+  block_solves : int;
+  total_elapsed : float;
+}
+
+(** [analyze ~options ~clusters topo paths envelope] runs Algorithm 1.
+    [options.time_limit] is split evenly across all solver invocations
+    (the §8.5 experiment design). [clusters = 1] degenerates to a single
+    free-demand solve followed by a fixed-demand solve. *)
+val analyze :
+  ?options:Analysis.options ->
+  clusters:int ->
+  Wan.Topology.t ->
+  Netpath.Path_set.t ->
+  Traffic.Envelope.t ->
+  result

@@ -1,0 +1,39 @@
+(** Embedding the inner ("heuristic") problem into the outer MILP.
+
+    MetaOpt requires the heuristic — the network under failure — to be a
+    convex (here: linear) program so it can be replaced by its optimality
+    conditions inside a single-level MILP (§4.1). Two interchangeable
+    rewritings are provided:
+
+    - {!encode_kkt}: primal + dual feasibility + complementary slackness
+      linearized with big-M binaries. Exact for any affine outer
+      right-hand sides (including continuous outer variables such as
+      unquantized demands and naive-failover couplings).
+    - {!encode_strong_duality}: primal + dual feasibility + the strong
+      duality cut [c'x >= b'y], with the bilinear [b'y] expanded by exact
+      McCormick products. Requires every [Outer] right-hand side to be
+      affine in {e binary} outer variables (quantized demands, failure
+      binaries, availability binaries); produces far tighter LP
+      relaxations, so it is the default engine.
+
+    Both rewritings force the embedded primal columns to an optimal
+    solution of the inner LP for every choice of the outer variables. *)
+
+type t = {
+  xs : Milp.Model.var array;  (** primal columns, indexed like the spec *)
+  duals : Milp.Model.var array;  (** one multiplier per row *)
+  objective : Milp.Linexpr.t;
+      (** the inner objective value in the spec's original sense *)
+}
+
+(** Embed only primal feasibility (no optimality) — used for the
+    "optimal" network, whose objective is aligned with the outer
+    maximization and therefore needs no reformulation. [duals] is
+    empty. *)
+val embed_primal : Milp.Model.t -> prefix:string -> Te.Lp_spec.t -> t
+
+val encode_kkt : Milp.Model.t -> prefix:string -> Te.Lp_spec.t -> t
+
+(** @raise Invalid_argument when an [Outer] rhs mentions a non-binary
+    outer variable. *)
+val encode_strong_duality : Milp.Model.t -> prefix:string -> Te.Lp_spec.t -> t

@@ -1,0 +1,1 @@
+lib/te/edge_form.ml: Array Hashtbl List Milp Printf Traffic Wan

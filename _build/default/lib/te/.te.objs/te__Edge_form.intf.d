@@ -1,0 +1,1 @@
+lib/te/edge_form.mli: Traffic Wan

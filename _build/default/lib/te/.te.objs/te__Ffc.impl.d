@@ -1,0 +1,1 @@
+lib/te/ffc.ml: Array Failure Float List Milp Netpath Option Printf Simulate Traffic Wan

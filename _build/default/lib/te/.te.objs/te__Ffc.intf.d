@@ -1,0 +1,1 @@
+lib/te/ffc.mli: Failure Netpath Traffic Wan

@@ -1,0 +1,1 @@
+lib/te/formulation.ml: Array Float List Lp_spec Milp Netpath Option Printf Wan

@@ -1,0 +1,1 @@
+lib/te/formulation.mli: Lp_spec Milp Netpath Wan

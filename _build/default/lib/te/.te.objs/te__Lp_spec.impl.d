@@ -1,0 +1,1 @@
+lib/te/lp_spec.ml: Array List Milp

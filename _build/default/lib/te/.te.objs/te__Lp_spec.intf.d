@@ -1,0 +1,1 @@
+lib/te/lp_spec.mli: Milp

@@ -1,0 +1,1 @@
+lib/te/monte_carlo.ml: Array Failure Float Format Formulation Fun Random Simulate Wan

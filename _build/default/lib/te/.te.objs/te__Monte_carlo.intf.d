@@ -1,0 +1,1 @@
+lib/te/monte_carlo.mli: Failure Format Formulation Netpath Traffic Wan

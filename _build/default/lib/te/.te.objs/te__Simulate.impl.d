@@ -1,0 +1,1 @@
+lib/te/simulate.ml: Array Failure Float Formulation List Lp_spec Netpath Printf Traffic Wan

@@ -1,0 +1,1 @@
+lib/te/simulate.mli: Failure Formulation Netpath Traffic Wan

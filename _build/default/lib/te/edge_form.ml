@@ -1,0 +1,94 @@
+type result = { total : float; per_pair : ((int * int) * float) list }
+
+let max_total_flow ?(restrict = fun ~pair:_ _ -> true) topo demand ~lag_cap =
+  let m = Milp.Model.create ~name:"edge_form" () in
+  let entries = Traffic.Demand.entries demand in
+  let lags = Wan.Topology.lags topo in
+  (* flow variables per (pair, lag, direction); direction 0 = src->dst of
+     the LAG's endpoints, 1 = reverse *)
+  let fvar = Hashtbl.create 256 in
+  List.iteri
+    (fun k ((s, d), _) ->
+      Array.iter
+        (fun (lag : Wan.Lag.t) ->
+          let e = lag.Wan.Lag.lag_id in
+          if restrict ~pair:(s, d) e then begin
+            let v0 =
+              Milp.Model.continuous m (Printf.sprintf "f_k%d_e%d_f" k e)
+            in
+            let v1 =
+              Milp.Model.continuous m (Printf.sprintf "f_k%d_e%d_r" k e)
+            in
+            Hashtbl.replace fvar (k, e) (v0, v1)
+          end)
+        lags)
+    entries;
+  (* delivered flow per pair *)
+  let deliver =
+    List.mapi
+      (fun k ((s, d), vol) ->
+        let fk = Milp.Model.continuous ~ub:vol m (Printf.sprintf "fk%d" k) in
+        ((s, d), k, fk))
+      entries
+  in
+  (* conservation per (pair, node) *)
+  let n = Wan.Topology.num_nodes topo in
+  List.iter
+    (fun ((s, d), k, fk) ->
+      for v = 0 to n - 1 do
+        (* sum of flow into v minus flow out of v *)
+        let expr = ref Milp.Linexpr.zero in
+        Array.iter
+          (fun (lag : Wan.Lag.t) ->
+            match Hashtbl.find_opt fvar (k, lag.Wan.Lag.lag_id) with
+            | None -> ()
+            | Some (v0, v1) ->
+              (* v0 carries src->dst, v1 carries dst->src *)
+              if lag.Wan.Lag.dst = v then
+                expr := Milp.Linexpr.add_term !expr 1. v0.Milp.Model.vid;
+              if lag.Wan.Lag.src = v then
+                expr := Milp.Linexpr.add_term !expr (-1.) v0.Milp.Model.vid;
+              if lag.Wan.Lag.src = v then
+                expr := Milp.Linexpr.add_term !expr 1. v1.Milp.Model.vid;
+              if lag.Wan.Lag.dst = v then
+                expr := Milp.Linexpr.add_term !expr (-1.) v1.Milp.Model.vid)
+          lags;
+        let net =
+          if v = d then Milp.Linexpr.var fk.Milp.Model.vid
+          else if v = s then Milp.Linexpr.var ~coeff:(-1.) fk.Milp.Model.vid
+          else Milp.Linexpr.zero
+        in
+        Milp.Model.add_cons_expr m
+          ~name:(Printf.sprintf "cons_k%d_v%d" k v)
+          !expr Milp.Model.Eq net
+      done)
+    deliver;
+  (* LAG capacities: both directions share the bundle *)
+  Array.iter
+    (fun (lag : Wan.Lag.t) ->
+      let e = lag.Wan.Lag.lag_id in
+      let expr = ref Milp.Linexpr.zero in
+      List.iteri
+        (fun k _ ->
+          match Hashtbl.find_opt fvar (k, e) with
+          | None -> ()
+          | Some (v0, v1) ->
+            expr := Milp.Linexpr.add_term !expr 1. v0.Milp.Model.vid;
+            expr := Milp.Linexpr.add_term !expr 1. v1.Milp.Model.vid)
+        entries;
+      if not (Milp.Linexpr.is_constant !expr) then
+        Milp.Model.add_cons m ~name:(Printf.sprintf "cap_e%d" e) !expr Milp.Model.Le
+          (lag_cap e))
+    lags;
+  let obj =
+    Milp.Linexpr.sum
+      (List.map (fun (_, _, fk) -> Milp.Linexpr.var fk.Milp.Model.vid) deliver)
+  in
+  Milp.Model.set_objective m Milp.Model.Maximize obj;
+  match Milp.Simplex.solve m with
+  | Milp.Simplex.Optimal { obj; values } ->
+    let per_pair =
+      List.map (fun (pair, _, fk) -> (pair, values.(fk.Milp.Model.vid))) deliver
+    in
+    Some { total = obj; per_pair }
+  | Milp.Simplex.Infeasible | Milp.Simplex.Unbounded | Milp.Simplex.Iter_limit -> None

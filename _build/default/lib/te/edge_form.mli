@@ -1,0 +1,25 @@
+(** Edge-formulation multi-commodity flow (Appendix C).
+
+    Flow variables live on (demand, LAG, direction) triples with
+    per-node conservation (Eq. 6) instead of on paths; every path is
+    implicitly available, so the optimum upper-bounds what any path-form
+    TE can route. New-LAG capacity augmentation uses this form because
+    adding a LAG changes the path set. *)
+
+type result = {
+  total : float;
+  per_pair : ((int * int) * float) list;  (** flow delivered per pair *)
+}
+
+(** [max_total_flow ?restrict topo demand ~lag_cap] maximizes total
+    delivered flow. [lag_cap e] is LAG [e]'s capacity. [restrict ~pair e]
+    (default: always [true]) limits which LAGs each pair may use —
+    Appendix C tightens the edge form by restricting a demand to LAGs on
+    its pre-failure paths plus candidate new LAGs. Returns [None] on an
+    infeasible/degenerate instance. *)
+val max_total_flow :
+  ?restrict:(pair:int * int -> int -> bool) ->
+  Wan.Topology.t ->
+  Traffic.Demand.t ->
+  lag_cap:(int -> float) ->
+  result option

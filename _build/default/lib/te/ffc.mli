@@ -1,0 +1,42 @@
+(** FFC-style robust bandwidth allocation (Liu et al., SIGCOMM 2014) —
+    the "resilient to up to k failures" planning approach of §2.2.
+
+    Grants each pair a bandwidth [b_k <= demand_k] such that under {e
+    any} simultaneous failure of at most [k] LAGs, the granted bandwidths
+    remain simultaneously routable over the surviving configured paths.
+    Exact scenario-enumeration formulation: one routing copy per <=k-LAG
+    failure scenario (tractable at the scales this repo runs; FFC's
+    production encoding compresses the scenarios, ours keeps their exact
+    semantics).
+
+    Raha's §2.2 point is then observable: the grant is safe for <=k
+    failures by construction, yet probable scenarios beyond [k] still
+    degrade it — see the [ffc] bench. *)
+
+type result = {
+  granted : ((int * int) * float) list;  (** per-pair protected bandwidth *)
+  total_granted : float;
+  total_demand : float;
+  scenarios_considered : int;
+}
+
+(** [allocate ~k topo paths demand] maximizes the total granted
+    bandwidth. [None] if even the empty scenario cannot route anything
+    (degenerate inputs).
+    @raise Invalid_argument if the scenario count explodes (> 20_000). *)
+val allocate :
+  k:int ->
+  Wan.Topology.t ->
+  Netpath.Path_set.t ->
+  Traffic.Demand.t ->
+  result option
+
+(** [grant_to_demand r] is the granted allocation as a demand matrix. *)
+val grant_to_demand : result -> Traffic.Demand.t
+
+(** [verify ~k topo paths r] replays every <=k-LAG failure scenario in
+    the simulator and checks the grant stays routable; returns the first
+    violating scenario if any (used by tests, and by operators as a
+    sanity check). *)
+val verify :
+  k:int -> Wan.Topology.t -> Netpath.Path_set.t -> result -> Failure.Scenario.t option

@@ -1,0 +1,192 @@
+type value = C of float | E of Milp.Linexpr.t
+
+type objective =
+  | Total_flow
+  | Mlu of { u_max : float }
+  | Max_min of { bins : int; ratio : float }
+
+type pair_cols = {
+  src : int;
+  dst : int;
+  n_primary : int;
+  paths : Netpath.Path.t array;
+  path_cols : int array;
+}
+
+type index = { pair_arr : pair_cols array; u_col : int option }
+
+let rhs_of_value = function
+  | C c -> Lp_spec.Const c
+  | E e -> Lp_spec.Outer e
+
+let scale_value k = function
+  | C c -> C (k *. c)
+  | E e -> E (Milp.Linexpr.scale k e)
+
+let build ~objective ~topo ~paths ~lag_cap ~demand ?path_cap ~d_max () =
+  let cols = ref [] and n_cols = ref 0 in
+  let add_col cname obj ub_hint =
+    let i = !n_cols in
+    incr n_cols;
+    cols := { Lp_spec.cname; obj; ub_hint } :: !cols;
+    i
+  in
+  let rows = ref [] in
+  let add_row rname terms rel rhs slack_bound =
+    rows := { Lp_spec.rname; terms; rel; rhs; slack_bound } :: !rows
+  in
+  (* flow columns, one per (pair, path) *)
+  let pair_arr =
+    Array.of_list
+      (List.mapi
+         (fun k (p : Netpath.Path_set.pair) ->
+           let all = Netpath.Path_set.all_paths p in
+           let path_cols =
+             Array.of_list
+               (List.mapi
+                  (fun j _ ->
+                    add_col (Printf.sprintf "f_k%d_p%d" k j)
+                      (match objective with Total_flow -> 1. | Mlu _ | Max_min _ -> 0.)
+                      d_max)
+                  all)
+           in
+           {
+             src = p.Netpath.Path_set.src;
+             dst = p.Netpath.Path_set.dst;
+             n_primary = Netpath.Path_set.num_primary p;
+             paths = Array.of_list all;
+             path_cols;
+           })
+         paths)
+  in
+  let n_pairs = Array.length pair_arr in
+  (* objective-specific columns *)
+  let u_col, bin_cols =
+    match objective with
+    | Total_flow -> (None, [||])
+    | Mlu { u_max } -> (Some (add_col "U" 1. u_max), [||])
+    | Max_min { bins; ratio } ->
+      if bins < 1 then invalid_arg "Formulation: bins < 1";
+      if ratio < 1. then invalid_arg "Formulation: ratio < 1";
+      let eps = 1. /. (2. *. float_of_int (max 1 n_pairs)) in
+      let cols =
+        Array.init n_pairs (fun k ->
+            Array.init bins (fun i ->
+                add_col (Printf.sprintf "t_k%d_b%d" k i)
+                  (Float.pow eps (float_of_int i))
+                  d_max))
+      in
+      (None, cols)
+  in
+  (* demand rows *)
+  Array.iteri
+    (fun k pc ->
+      let terms = Array.to_list (Array.map (fun c -> (c, 1.)) pc.path_cols) in
+      let dval = demand ~src:pc.src ~dst:pc.dst in
+      match objective with
+      | Mlu _ ->
+        (* MLU routes the full demand (Appendix A) *)
+        add_row (Printf.sprintf "dem_k%d" k) terms Lp_spec.Eq (rhs_of_value dval) 0.
+      | Total_flow ->
+        add_row (Printf.sprintf "dem_k%d" k) terms Lp_spec.Le (rhs_of_value dval) d_max
+      | Max_min { bins; ratio } ->
+        (* flow equals the sum of bin allocations; bins partition [0, d] *)
+        let t_terms = Array.to_list (Array.map (fun c -> (c, -1.)) bin_cols.(k)) in
+        add_row (Printf.sprintf "bin_link_k%d" k) (terms @ t_terms) Lp_spec.Eq
+          (Lp_spec.Const 0.) 0.;
+        let widths =
+          if ratio = 1. then Array.make bins (1. /. float_of_int bins)
+          else begin
+            let q = ratio in
+            let denom = (Float.pow q (float_of_int bins)) -. 1. in
+            Array.init bins (fun i -> (q -. 1.) *. Float.pow q (float_of_int i) /. denom)
+          end
+        in
+        Array.iteri
+          (fun i tcol ->
+            add_row
+              (Printf.sprintf "bin_k%d_b%d" k i)
+              [ (tcol, 1.) ]
+              Lp_spec.Le
+              (rhs_of_value (scale_value widths.(i) dval))
+              d_max)
+          bin_cols.(k))
+    pair_arr;
+  (* LAG capacity / utilization rows *)
+  let num_lags = Wan.Topology.num_lags topo in
+  for e = 0 to num_lags - 1 do
+    let terms = ref [] in
+    Array.iter
+      (fun pc ->
+        Array.iteri
+          (fun j path ->
+            if Netpath.Path.mem_lag path e then terms := (pc.path_cols.(j), 1.) :: !terms)
+          pc.paths)
+      pair_arr;
+    if !terms <> [] then
+      match objective with
+      | Total_flow | Max_min _ ->
+        let cap = lag_cap e in
+        let bound = match cap with C c -> c | E _ -> Wan.Lag.capacity (Wan.Topology.lag topo e) in
+        add_row (Printf.sprintf "cap_e%d" e) !terms Lp_spec.Le (rhs_of_value cap) bound
+      | Mlu { u_max } -> (
+        match lag_cap e with
+        | C cap ->
+          let u = Option.get u_col in
+          add_row (Printf.sprintf "util_e%d" e)
+            ((u, -.cap) :: !terms)
+            Lp_spec.Le (Lp_spec.Const 0.) (cap *. u_max)
+        | E _ -> invalid_arg "Formulation: MLU requires constant LAG capacities")
+  done;
+  (* MLU variable cap (keeps duals bounded) *)
+  (match (objective, u_col) with
+  | Mlu { u_max }, Some u -> add_row "u_cap" [ (u, 1.) ] Lp_spec.Le (Lp_spec.Const u_max) u_max
+  | _ -> ());
+  (* path extension capacity rows (Eq. 5) *)
+  (match path_cap with
+  | None -> ()
+  | Some f ->
+    Array.iteri
+      (fun k pc ->
+        Array.iteri
+          (fun j col ->
+            match f ~pair:k ~path:j with
+            | None -> ()
+            | Some v ->
+              add_row
+                (Printf.sprintf "ext_k%d_p%d" k j)
+                [ (col, 1.) ]
+                Lp_spec.Le (rhs_of_value v) d_max)
+          pc.path_cols)
+      pair_arr);
+  let sense, dual_bound =
+    match objective with
+    | Total_flow -> (Lp_spec.Max, 1.)
+    | Max_min _ -> (Lp_spec.Max, 2.)
+    | Mlu _ -> (Lp_spec.Min, 50.)
+  in
+  let spec =
+    {
+      Lp_spec.sense;
+      cols = Array.of_list (List.rev !cols);
+      rows = Array.of_list (List.rev !rows);
+      dual_bound;
+    }
+  in
+  (spec, { pair_arr; u_col })
+
+let add_rows spec extra =
+  { spec with Lp_spec.rows = Array.append spec.Lp_spec.rows (Array.of_list extra) }
+
+let pair_flow index k xs =
+  Array.fold_left (fun acc c -> acc +. xs.(c)) 0. index.pair_arr.(k).path_cols
+
+let total_flow index xs =
+  let acc = ref 0. in
+  Array.iteri (fun k _ -> acc := !acc +. pair_flow index k xs) index.pair_arr;
+  !acc
+
+let performance objective index xs =
+  match objective with
+  | Total_flow | Max_min _ -> total_flow index xs
+  | Mlu _ -> ( match index.u_col with Some u -> xs.(u) | None -> nan)

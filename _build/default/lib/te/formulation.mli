@@ -1,0 +1,73 @@
+(** Builders for the TE objectives Raha supports.
+
+    - {!Total_flow}: the production SWAN/B4-style LP of Eq. 2 (maximize
+      total demand met);
+    - {!Mlu}: minimize the maximum link utilization (Appendix A). LAG
+      capacities stay constant and failures act through path extension
+      capacities, exactly as the appendix prescribes;
+    - {!Max_min}: the single-shot geometric/equi-depth binning
+      approximation of max-min fairness (Appendix A, citing Soroush).
+
+    Each builder returns an {!Lp_spec} plus an index mapping (pair, path)
+    to spec columns, so callers can attach extension-capacity rows,
+    naive-failover rows, or read flows back from solutions. *)
+
+(** A model input that is either a constant (red in the paper's Table 2)
+    or an affine expression over the outer model's variables (blue). *)
+type value = C of float | E of Milp.Linexpr.t
+
+type objective =
+  | Total_flow
+  | Mlu of { u_max : float }  (** cap on the MLU variable *)
+  | Max_min of { bins : int; ratio : float }
+      (** [ratio = 1.] is equi-depth binning; [> 1.] geometric *)
+
+type pair_cols = {
+  src : int;
+  dst : int;
+  n_primary : int;
+  paths : Netpath.Path.t array;  (** priority order: primaries then backups *)
+  path_cols : int array;  (** spec column of each path's flow *)
+}
+
+type index = {
+  pair_arr : pair_cols array;
+  u_col : int option;  (** the MLU variable's column, if any *)
+}
+
+(** [build ~objective ~topo ~paths ~lag_cap ~demand ?path_cap ~d_max ()]
+    assembles the LP.
+
+    [lag_cap e] is LAG [e]'s capacity (variable under failures);
+    [demand ~src ~dst] the demand volume; [path_cap ~pair ~path], when
+    [Some], adds the extension-capacity row [f_kp <= path_cap] (Eq. 5's
+    C_kp) — return [None] for paths that need no row (always-available
+    primaries). [d_max] bounds every demand from above (big-M
+    tightness).
+
+    @raise Invalid_argument if [Mlu] is combined with non-constant
+    [lag_cap] (Appendix A keeps MLU capacity rows constant). *)
+val build :
+  objective:objective ->
+  topo:Wan.Topology.t ->
+  paths:Netpath.Path_set.t ->
+  lag_cap:(int -> value) ->
+  demand:(src:int -> dst:int -> value) ->
+  ?path_cap:(pair:int -> path:int -> value option) ->
+  d_max:float ->
+  unit ->
+  Lp_spec.t * index
+
+(** Append extra rows (e.g. naive fail-over coupling, §5.1). *)
+val add_rows : Lp_spec.t -> Lp_spec.row list -> Lp_spec.t
+
+(** Total flow routed for a pair in a solution vector. *)
+val pair_flow : index -> int -> float array -> float
+
+(** Total flow across all pairs. *)
+val total_flow : index -> float array -> float
+
+(** The objective the spec reports, interpreted per [objective]:
+    total flow for [Total_flow] and [Max_min] (not the binned surrogate),
+    the MLU for [Mlu]. *)
+val performance : objective -> index -> float array -> float

@@ -1,0 +1,79 @@
+type summary = {
+  samples : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max_seen : float;
+  worst_scenario : Failure.Scenario.t;
+}
+
+let sample_scenario rng topo =
+  let links = ref [] in
+  Array.iter
+    (fun (lag : Wan.Lag.t) ->
+      Array.iteri
+        (fun i (l : Wan.Lag.link) ->
+          if l.Wan.Lag.fail_prob > 0. && Random.State.float rng 1. < l.Wan.Lag.fail_prob
+          then links := (lag.Wan.Lag.lag_id, i) :: !links)
+        lag.Wan.Lag.links)
+    (Wan.Topology.lags topo);
+  Failure.Scenario.of_links topo !links
+
+let sample_degradations ?(objective = Formulation.Total_flow) ~seed ~samples topo paths
+    demand =
+  if samples <= 0 then invalid_arg "Monte_carlo.sample_degradations: samples <= 0";
+  let rng = Random.State.make [| seed |] in
+  let healthy =
+    match Simulate.healthy ~objective topo paths demand with
+    | Some h -> h
+    | None -> invalid_arg "Monte_carlo: healthy network cannot route the demand"
+  in
+  let degradations = Array.make samples 0. in
+  let scenarios = Array.make samples Failure.Scenario.empty in
+  for i = 0 to samples - 1 do
+    let s = sample_scenario rng topo in
+    scenarios.(i) <- s;
+    degradations.(i) <-
+      (match Simulate.route ~objective ~healthy topo paths demand s with
+      | Some f -> (
+        match objective with
+        | Formulation.Mlu _ -> f.Simulate.performance -. healthy.Simulate.performance
+        | Formulation.Total_flow | Formulation.Max_min _ ->
+          healthy.Simulate.performance -. f.Simulate.performance)
+      | None -> healthy.Simulate.performance)
+  done;
+  (degradations, scenarios)
+
+let summarize degradations scenarios =
+  let n = Array.length degradations in
+  if n = 0 || Array.length scenarios <> n then invalid_arg "Monte_carlo.summarize";
+  let idx = Array.init n Fun.id in
+  Array.sort (fun a b -> compare degradations.(a) degradations.(b)) idx;
+  let at q =
+    let i = min (n - 1) (int_of_float (Float.of_int n *. q)) in
+    degradations.(idx.(i))
+  in
+  let worst = idx.(n - 1) in
+  {
+    samples = n;
+    mean = Array.fold_left ( +. ) 0. degradations /. float_of_int n;
+    p50 = at 0.5;
+    p95 = at 0.95;
+    p99 = at 0.99;
+    max_seen = degradations.(worst);
+    worst_scenario = scenarios.(worst);
+  }
+
+let prob_degradation_above degradations x =
+  let n = Array.length degradations in
+  if n = 0 then 0.
+  else begin
+    let count = Array.fold_left (fun acc d -> if d > x then acc + 1 else acc) 0 degradations in
+    float_of_int count /. float_of_int n
+  end
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%d samples: mean %.3g, p50 %.3g, p95 %.3g, p99 %.3g, max %.3g (scenario %a)"
+    s.samples s.mean s.p50 s.p95 s.p99 s.max_seen Failure.Scenario.pp s.worst_scenario

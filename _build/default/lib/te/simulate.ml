@@ -1,0 +1,124 @@
+type reaction = Optimal_failover | Naive_failover
+
+type result = {
+  performance : float;
+  flows : float array;
+  index : Formulation.index;
+}
+
+let availability topo (pair : Netpath.Path_set.pair) scenario =
+  let all = Array.of_list (Netpath.Path_set.all_paths pair) in
+  let n_primary = Netpath.Path_set.num_primary pair in
+  let down =
+    Array.map
+      (fun p -> Failure.Scenario.path_down topo scenario (Netpath.Path.lag_list p))
+      all
+  in
+  let failed_before = Array.make (Array.length all) 0 in
+  for j = 1 to Array.length all - 1 do
+    failed_before.(j) <- failed_before.(j - 1) + (if down.(j - 1) then 1 else 0)
+  done;
+  Array.mapi (fun j _ -> failed_before.(j) + n_primary - j - 1 >= 0) all
+
+let d_max_of demand =
+  List.fold_left (fun acc (_, v) -> Float.max acc v) 1. (Traffic.Demand.entries demand)
+
+let route ?(objective = Formulation.Total_flow) ?(reaction = Optimal_failover) ?healthy
+    topo paths demand scenario =
+  let d_max = d_max_of demand in
+  let lag_cap e = Formulation.C (Failure.Scenario.lag_capacity topo scenario e) in
+  let lag_cap =
+    match objective with
+    | Formulation.Mlu _ ->
+      (* Appendix A: MLU keeps capacity rows constant; failures act via
+         path availability only *)
+      fun e -> Formulation.C (Wan.Lag.capacity (Wan.Topology.lag topo e))
+    | Formulation.Total_flow | Formulation.Max_min _ -> lag_cap
+  in
+  let avail =
+    Array.of_list (List.map (fun p -> availability topo p scenario) paths)
+  in
+  (* In MLU mode the capacity rows stay constant (Appendix A), so a down
+     path must additionally be blocked through its extension capacity;
+     for the other objectives a down LAG's zero capacity already blocks
+     it. *)
+  let is_mlu = match objective with Formulation.Mlu _ -> true | _ -> false in
+  let down =
+    Array.of_list
+      (List.map
+         (fun (p : Netpath.Path_set.pair) ->
+           Array.of_list
+             (List.map
+                (fun path ->
+                  Failure.Scenario.path_down topo scenario (Netpath.Path.lag_list path))
+                (Netpath.Path_set.all_paths p)))
+         paths)
+  in
+  let path_cap ~pair ~path =
+    let blocked =
+      (not avail.(pair).(path)) || (is_mlu && down.(pair).(path))
+    in
+    if blocked then Some (Formulation.C 0.) else None
+  in
+  let demand_f ~src ~dst = Formulation.C (Traffic.Demand.volume demand ~src ~dst) in
+  let spec, index =
+    Formulation.build ~objective ~topo ~paths ~lag_cap ~demand:demand_f ~path_cap ~d_max ()
+  in
+  let spec =
+    match (reaction, healthy) with
+    | Optimal_failover, _ -> spec
+    | Naive_failover, None -> invalid_arg "Simulate.route: naive fail-over needs healthy flows"
+    | Naive_failover, Some h ->
+      (* primaries capped by their healthy flow; the r-th backup capped by
+         the r-th primary's healthy flow (§5.1) *)
+      let extra = ref [] in
+      Array.iteri
+        (fun k (pc : Formulation.pair_cols) ->
+          let hpc = h.index.Formulation.pair_arr.(k) in
+          Array.iteri
+            (fun j col ->
+              let cap_col =
+                if j < pc.Formulation.n_primary then Some j
+                else begin
+                  let r = j - pc.Formulation.n_primary in
+                  if r < pc.Formulation.n_primary then Some r else None
+                end
+              in
+              match cap_col with
+              | None -> ()
+              | Some jh ->
+                let healthy_flow = h.flows.(hpc.Formulation.path_cols.(jh)) in
+                extra :=
+                  {
+                    Lp_spec.rname = Printf.sprintf "naive_k%d_p%d" k j;
+                    terms = [ (col, 1.) ];
+                    rel = Lp_spec.Le;
+                    rhs = Lp_spec.Const healthy_flow;
+                    slack_bound = d_max;
+                  }
+                  :: !extra)
+            pc.Formulation.path_cols)
+        index.Formulation.pair_arr;
+      Formulation.add_rows spec !extra
+  in
+  match Lp_spec.solve spec with
+  | `Optimal (_, xs) ->
+    Some { performance = Formulation.performance objective index xs; flows = xs; index }
+  | `Infeasible -> None
+  | `Unbounded -> failwith "Simulate.route: unbounded TE LP"
+
+let healthy ?objective topo paths demand =
+  route ?objective topo paths demand Failure.Scenario.empty
+
+let degradation ?(objective = Formulation.Total_flow) ?reaction topo paths demand scenario =
+  match healthy ~objective topo paths demand with
+  | None -> None
+  | Some h -> (
+    let failed = route ~objective ?reaction ~healthy:h topo paths demand scenario in
+    match failed with
+    | None -> None
+    | Some f -> (
+      match objective with
+      | Formulation.Total_flow | Formulation.Max_min _ ->
+        Some (h.performance -. f.performance)
+      | Formulation.Mlu _ -> Some (f.performance -. h.performance)))

@@ -1,0 +1,1 @@
+lib/topology/generators.ml: Array Float Fun Lag List Printf Random Topology

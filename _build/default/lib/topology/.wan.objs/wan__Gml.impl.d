@@ -1,0 +1,1 @@
+lib/topology/gml.ml: Array Buffer Filename Hashtbl Lag List Printf String Topology

@@ -1,0 +1,1 @@
+lib/topology/gml.mli: Topology

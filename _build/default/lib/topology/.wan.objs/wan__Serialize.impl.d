@@ -1,0 +1,1 @@
+lib/topology/serialize.ml: Array Buffer Fun Lag List Printf String Topology

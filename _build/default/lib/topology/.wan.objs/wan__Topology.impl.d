@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Array Format Fun Lag List Printf

@@ -1,0 +1,1 @@
+lib/topology/zoo.ml: Float Lag List Random Topology

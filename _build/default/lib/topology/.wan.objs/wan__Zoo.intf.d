@@ -1,0 +1,1 @@
+lib/topology/zoo.mli: Topology

@@ -1,0 +1,47 @@
+(** Link aggregation groups (LAGs).
+
+    A WAN edge is a LAG: a bundle of physical links, each with its own
+    capacity and failure probability (§4.2 of the paper). A LAG's capacity
+    is the sum of its live links' capacities; a LAG is {e down} only when
+    every constituent link is down (Eq. 3). *)
+
+type link = {
+  link_capacity : float;  (** Gbps (or any consistent unit) *)
+  fail_prob : float;  (** steady-state probability the link is down *)
+}
+
+type t = {
+  lag_id : int;  (** dense id within the owning topology *)
+  src : int;
+  dst : int;  (** endpoint node ids; LAGs are undirected *)
+  links : link array;
+}
+
+(** [make ~id ~src ~dst links] validates and builds a LAG.
+    @raise Invalid_argument on self-loops, empty bundles, non-positive
+    capacities or probabilities outside [0, 1). *)
+val make : id:int -> src:int -> dst:int -> link list -> t
+
+(** [uniform ~id ~src ~dst ~n ~capacity ~fail_prob] builds a LAG of [n]
+    identical links. *)
+val uniform :
+  id:int -> src:int -> dst:int -> n:int -> capacity:float -> fail_prob:float -> t
+
+(** Total capacity with all links up. *)
+val capacity : t -> float
+
+val num_links : t -> int
+
+(** [capacity_with_failures lag down] is the live capacity when
+    [down.(i)] marks link [i] failed. *)
+val capacity_with_failures : t -> bool array -> float
+
+(** [other_end lag node] is the endpoint that is not [node].
+    @raise Invalid_argument if [node] is not an endpoint. *)
+val other_end : t -> int -> int
+
+(** Probability that every link in the LAG is simultaneously down
+    (independent links). *)
+val prob_all_links_down : t -> float
+
+val pp : Format.formatter -> t -> unit

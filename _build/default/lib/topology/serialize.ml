@@ -1,0 +1,86 @@
+let to_string t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "wan %s\n" (Topology.name t));
+  Buffer.add_string b (Printf.sprintf "nodes %d\n" (Topology.num_nodes t));
+  for v = 0 to Topology.num_nodes t - 1 do
+    Buffer.add_string b (Printf.sprintf "node %d %s\n" v (Topology.node_name t v))
+  done;
+  Array.iter
+    (fun (lag : Lag.t) ->
+      Buffer.add_string b (Printf.sprintf "lag %d %d\n" lag.Lag.src lag.Lag.dst);
+      Array.iter
+        (fun (l : Lag.link) ->
+          Buffer.add_string b
+            (Printf.sprintf "link %.17g %.17g\n" l.Lag.link_capacity l.Lag.fail_prob))
+        lag.Lag.links)
+    (Topology.lags t);
+  Buffer.contents b
+
+type parse_state = {
+  mutable pname : string;
+  mutable n : int;
+  mutable names : (int * string) list;
+  mutable lags : (int * int * Lag.link list) list; (* reverse order; links reversed *)
+}
+
+let of_string s =
+  let st = { pname = "wan"; n = -1; names = []; lags = [] } in
+  let err lineno msg = failwith (Printf.sprintf "line %d: %s" lineno msg) in
+  let lines = String.split_on_char '\n' s in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else
+        match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+        | [ "wan"; name ] -> st.pname <- name
+        | "wan" :: rest -> st.pname <- String.concat " " rest
+        | [ "nodes"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n > 0 -> st.n <- n
+          | _ -> err lineno "bad node count")
+        | "node" :: id :: rest -> (
+          match int_of_string_opt id with
+          | Some id -> st.names <- (id, String.concat " " rest) :: st.names
+          | None -> err lineno "bad node id")
+        | [ "lag"; a; b ] -> (
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some a, Some b -> st.lags <- (a, b, []) :: st.lags
+          | _ -> err lineno "bad lag endpoints")
+        | [ "link"; cap; prob ] -> (
+          match (float_of_string_opt cap, float_of_string_opt prob) with
+          | Some cap, Some prob -> (
+            match st.lags with
+            | (a, b, links) :: rest ->
+              st.lags <- (a, b, { Lag.link_capacity = cap; fail_prob = prob } :: links) :: rest
+            | [] -> err lineno "link before any lag")
+          | _ -> err lineno "bad link fields")
+        | _ -> err lineno (Printf.sprintf "unrecognized line %S" line))
+    lines;
+  if st.n <= 0 then failwith "missing 'nodes' line";
+  let node_names =
+    Array.init st.n (fun v ->
+        match List.assoc_opt v st.names with Some name -> name | None -> Printf.sprintf "n%d" v)
+  in
+  let lags =
+    List.rev st.lags
+    |> List.mapi (fun id (a, b, links) ->
+           if links = [] then failwith (Printf.sprintf "lag %d-%d has no links" a b);
+           Lag.make ~id ~src:a ~dst:b (List.rev links))
+  in
+  Topology.create ~node_names ~name:st.pname ~num_nodes:st.n lags
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))

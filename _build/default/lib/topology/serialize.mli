@@ -1,0 +1,24 @@
+(** Native text format for topologies.
+
+    GML (Topology Zoo) carries neither LAG structure nor per-link failure
+    probabilities, both of which Raha's analysis needs; this simple
+    line-oriented format round-trips everything:
+
+    {v
+    wan <name>
+    nodes <count>
+    node <id> <name>
+    lag <src> <dst>
+    link <capacity> <fail_prob>
+    v}
+
+    [node] lines are optional (default names); [link] lines attach to the
+    most recent [lag]. Lines starting with [#] are comments. *)
+
+val to_string : Topology.t -> string
+
+(** @raise Failure with a [line N: ...] message on malformed input. *)
+val of_string : string -> Topology.t
+
+val save : Topology.t -> string -> unit
+val load : string -> Topology.t

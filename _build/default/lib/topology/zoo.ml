@@ -1,0 +1,81 @@
+(* Failure probabilities for Zoo topologies are not public; like the paper
+   (§8.1) we assign values drawn from the production-like distribution,
+   deterministically per LAG so runs are reproducible. *)
+let assign_probs ~seed ~capacity edges =
+  let rng = Random.State.make [| seed |] in
+  List.mapi
+    (fun id (src, dst) ->
+      let fail_prob = 0.001 *. Float.exp (Random.State.float rng 3.) in
+      Lag.make ~id ~src ~dst [ { Lag.link_capacity = capacity; fail_prob } ])
+    edges
+
+let b4_edges =
+  (* Google B4: 12 sites, 19 LAGs. The published counts are exact; the
+     edge list is reconstructed from the topology figure (Jain et al.,
+     SIGCOMM 2013), so individual adjacencies may differ slightly from
+     the TEAVAR distribution. *)
+  [
+    (0, 1); (0, 2); (1, 2); (1, 3); (2, 4); (2, 5); (3, 4); (3, 6); (4, 5);
+    (4, 6); (5, 7); (6, 7); (6, 8); (7, 8); (7, 10); (8, 9); (9, 10); (9, 11);
+    (10, 11);
+  ]
+
+let b4 () =
+  Topology.create ~name:"b4" ~num_nodes:12
+    (assign_probs ~seed:41 ~capacity:5000. b4_edges)
+
+let abilene_names =
+  [| "Seattle"; "Sunnyvale"; "LosAngeles"; "Denver"; "KansasCity"; "Houston";
+     "Indianapolis"; "Chicago"; "Atlanta"; "NewYork"; "Washington" |]
+
+let abilene_edges =
+  [
+    (0, 1); (0, 3); (1, 3); (1, 2); (2, 5); (3, 4); (4, 5); (4, 6); (5, 8);
+    (6, 7); (6, 8); (7, 9); (8, 10); (9, 10);
+  ]
+
+let abilene () =
+  Topology.create ~node_names:abilene_names ~name:"abilene" ~num_nodes:11
+    (assign_probs ~seed:42 ~capacity:9920. abilene_edges)
+
+(* Size-matched mesh stand-in: ring backbone + deterministic chords. *)
+let mesh_standin ~name ~seed ~num_nodes ~num_edges ~capacity =
+  let rng = Random.State.make [| seed |] in
+  let edges = ref [] in
+  let mem (a, b) = List.exists (fun (x, y) -> (x = a && y = b) || (x = b && y = a)) !edges in
+  for i = 0 to num_nodes - 1 do
+    edges := (i, (i + 1) mod num_nodes) :: !edges
+  done;
+  while List.length !edges < num_edges do
+    let a = Random.State.int rng num_nodes in
+    let span = 2 + Random.State.int rng (max 1 (num_nodes / 4)) in
+    let b = (a + span) mod num_nodes in
+    if a <> b && not (mem (a, b)) then edges := (a, b) :: !edges
+  done;
+  Topology.create ~name ~num_nodes
+    (assign_probs ~seed:(seed + 1) ~capacity (List.rev !edges))
+
+let uninett2010 () =
+  mesh_standin ~name:"uninett2010" ~seed:74 ~num_nodes:74 ~num_edges:101 ~capacity:1000.
+
+let uninett2010_reduced () =
+  mesh_standin ~name:"uninett2010_reduced" ~seed:74 ~num_nodes:20 ~num_edges:28
+    ~capacity:1000.
+
+let cogentco () =
+  mesh_standin ~name:"cogentco" ~seed:197 ~num_nodes:197 ~num_edges:243 ~capacity:1000.
+
+let cogentco_reduced () =
+  mesh_standin ~name:"cogentco_reduced" ~seed:197 ~num_nodes:24 ~num_edges:30
+    ~capacity:1000.
+
+let names = [ "b4"; "abilene"; "uninett2010"; "uninett2010_reduced"; "cogentco"; "cogentco_reduced" ]
+
+let by_name = function
+  | "b4" -> Some (b4 ())
+  | "abilene" -> Some (abilene ())
+  | "uninett2010" -> Some (uninett2010 ())
+  | "uninett2010_reduced" -> Some (uninett2010_reduced ())
+  | "cogentco" -> Some (cogentco ())
+  | "cogentco_reduced" -> Some (cogentco_reduced ())
+  | _ -> None

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Failure Float List Milp Netpath Printf QCheck2 QCheck_alcotest Raha Te Traffic Wan

@@ -1,0 +1,1 @@
+test/test_failure.ml: Alcotest Array Failure Float List Printf QCheck2 QCheck_alcotest Random Wan

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_extensions Test_failure Test_milp Test_netpath Test_raha Test_raha_tools Test_te Test_traffic Test_wan

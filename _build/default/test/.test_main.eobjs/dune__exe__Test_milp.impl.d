@@ -1,0 +1,1 @@
+test/test_milp.ml: Alcotest Array Float Linearize Linexpr List Lp_file Milp Model Printf QCheck2 QCheck_alcotest Simplex Solver String

@@ -1,0 +1,1 @@
+test/test_netpath.ml: Alcotest List Netpath Option QCheck2 QCheck_alcotest Wan

@@ -1,0 +1,1 @@
+test/test_raha.ml: Alcotest Failure Float List Milp Netpath Option QCheck2 QCheck_alcotest Raha Random Te Traffic Wan

@@ -1,0 +1,1 @@
+test/test_raha_tools.ml: Alcotest Array Failure Float Format List Milp Netpath Printf QCheck2 QCheck_alcotest Raha String Te Traffic Wan

@@ -1,0 +1,1 @@
+test/test_te.ml: Alcotest Array Failure Float List Netpath Option QCheck2 QCheck_alcotest Random Te Traffic Wan

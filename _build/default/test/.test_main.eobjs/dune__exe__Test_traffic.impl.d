@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Float List QCheck2 QCheck_alcotest Traffic Wan

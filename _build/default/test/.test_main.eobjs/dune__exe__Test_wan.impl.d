@@ -1,0 +1,1 @@
+test/test_wan.ml: Alcotest Array List Option Wan

@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "raha"
+    [
+      ("milp", Test_milp.suite);
+      ("wan", Test_wan.suite);
+      ("netpath", Test_netpath.suite);
+      ("failure", Test_failure.suite);
+      ("te", Test_te.suite);
+      ("raha", Test_raha.suite);
+      ("raha tools", Test_raha_tools.suite);
+      ("traffic", Test_traffic.suite);
+      ("extensions", Test_extensions.suite);
+    ]

@@ -1,0 +1,159 @@
+(* Demand matrices, gravity model, synthetic history and envelopes. *)
+
+let check_float ?(eps = 1e-9) what expected got =
+  Alcotest.(check (float eps)) what expected got
+
+let check_int = Alcotest.(check int)
+
+let test_demand_basics () =
+  let d = Traffic.Demand.of_list [ ((0, 1), 5.); ((2, 3), 7.) ] in
+  check_float "volume" 5. (Traffic.Demand.volume d ~src:0 ~dst:1);
+  check_float "absent pair" 0. (Traffic.Demand.volume d ~src:1 ~dst:0);
+  check_float "total" 12. (Traffic.Demand.total d);
+  check_int "cardinal" 2 (Traffic.Demand.cardinal d);
+  let d2 = Traffic.Demand.scale 2. d in
+  check_float "scaled" 10. (Traffic.Demand.volume d2 ~src:0 ~dst:1);
+  let d3 = Traffic.Demand.set d ~src:0 ~dst:1 9. in
+  check_float "set" 9. (Traffic.Demand.volume d3 ~src:0 ~dst:1);
+  check_float "original untouched" 5. (Traffic.Demand.volume d ~src:0 ~dst:1);
+  Alcotest.(check (list (pair int int))) "pairs" [ (0, 1); (2, 3) ] (Traffic.Demand.pairs d)
+
+let test_demand_validation () =
+  let bad l =
+    match Traffic.Demand.of_list l with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  bad [ ((0, 1), -1.) ];
+  bad [ ((1, 1), 2.) ];
+  bad [ ((0, 1), 1.); ((0, 1), 2.) ]
+
+let test_demand_union_max () =
+  let a = Traffic.Demand.of_list [ ((0, 1), 5.); ((2, 3), 7.) ] in
+  let b = Traffic.Demand.of_list [ ((0, 1), 3.); ((4, 5), 2.) ] in
+  let u = Traffic.Demand.union_max a b in
+  check_float "max kept" 5. (Traffic.Demand.volume u ~src:0 ~dst:1);
+  check_float "a-only kept" 7. (Traffic.Demand.volume u ~src:2 ~dst:3);
+  check_float "b-only kept" 2. (Traffic.Demand.volume u ~src:4 ~dst:5)
+
+let test_gravity () =
+  let topo = Wan.Generators.ring 6 in
+  let d = Traffic.Gravity.generate ~scale:100. ~seed:3 topo () in
+  (* all ordered pairs *)
+  check_int "pairs" 30 (Traffic.Demand.cardinal d);
+  let peak =
+    List.fold_left (fun acc (_, v) -> Float.max acc v) 0. (Traffic.Demand.entries d)
+  in
+  check_float "peak equals scale" 100. peak;
+  List.iter
+    (fun (_, v) -> Alcotest.(check bool) "positive" true (v > 0.))
+    (Traffic.Demand.entries d);
+  (* deterministic *)
+  let d2 = Traffic.Gravity.generate ~scale:100. ~seed:3 topo () in
+  check_float "deterministic" (Traffic.Demand.total d) (Traffic.Demand.total d2);
+  (* restricted pairs *)
+  let d3 = Traffic.Gravity.generate ~pairs:[ (0, 3) ] ~scale:50. ~seed:3 topo () in
+  check_int "restricted" 1 (Traffic.Demand.cardinal d3)
+
+let test_traffic_gen () =
+  let topo = Wan.Generators.ring 5 in
+  let pairs = [ (0, 2); (1, 3) ] in
+  let s =
+    Traffic.Traffic_gen.generate ~seed:9 ~days:10 ~samples_per_day:4 ~pairs
+      ~mean_volume:40. topo ()
+  in
+  check_int "samples" 40 (Array.length s.Traffic.Traffic_gen.samples);
+  let avg = Traffic.Traffic_gen.average s in
+  let mx = Traffic.Traffic_gen.maximum s in
+  List.iter
+    (fun (src, dst) ->
+      let a = Traffic.Demand.volume avg ~src ~dst in
+      let m = Traffic.Demand.volume mx ~src ~dst in
+      Alcotest.(check bool) "max >= avg" true (m >= a);
+      Alcotest.(check bool) "avg positive" true (a > 0.);
+      (* max over each sample individually *)
+      Array.iter
+        (fun d ->
+          Alcotest.(check bool) "max dominates samples" true
+            (Traffic.Demand.volume d ~src ~dst <= m +. 1e-9))
+        s.Traffic.Traffic_gen.samples)
+    pairs
+
+let test_envelope_fixed () =
+  let d = Traffic.Demand.of_list [ ((0, 1), 5.) ] in
+  let e = Traffic.Envelope.fixed d in
+  Alcotest.(check bool) "is_fixed" true (Traffic.Envelope.is_fixed e);
+  check_float "lo = hi" (Traffic.Envelope.lo_volume e ~src:0 ~dst:1)
+    (Traffic.Envelope.hi_volume e ~src:0 ~dst:1);
+  check_float "max_hi" 5. (Traffic.Envelope.max_hi e)
+
+let test_envelope_ranges () =
+  let d = Traffic.Demand.of_list [ ((0, 1), 10.); ((1, 2), 20.) ] in
+  let z = Traffic.Envelope.from_zero ~slack:0.5 d in
+  check_float "lo 0" 0. (Traffic.Envelope.lo_volume z ~src:0 ~dst:1);
+  check_float "hi scaled" 15. (Traffic.Envelope.hi_volume z ~src:0 ~dst:1);
+  Alcotest.(check bool) "not fixed" false (Traffic.Envelope.is_fixed z);
+  let a = Traffic.Envelope.around ~slack:0.3 d in
+  check_float "around lo" 7. (Traffic.Envelope.lo_volume a ~src:0 ~dst:1);
+  check_float "around hi" 13. (Traffic.Envelope.hi_volume a ~src:0 ~dst:1);
+  let u = Traffic.Envelope.unbounded ~cap:99. [ (3, 4) ] in
+  check_float "unbounded lo" 0. (Traffic.Envelope.lo_volume u ~src:3 ~dst:4);
+  check_float "unbounded hi" 99. (Traffic.Envelope.hi_volume u ~src:3 ~dst:4);
+  match Traffic.Envelope.from_zero ~slack:(-0.1) d with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative slack rejected"
+
+(* qcheck: average of the synthetic series stays near the configured
+   per-pair base level (the generator's contract with §8.1) *)
+let prop_series_avg_near_base =
+  QCheck2.Test.make ~name:"traffic series: time-average tracks base level" ~count:20
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let topo = Wan.Generators.ring 4 in
+      let pairs = [ (0, 2) ] in
+      let s =
+        Traffic.Traffic_gen.generate ~seed ~days:30 ~samples_per_day:8 ~pairs
+          ~mean_volume:50. topo ()
+      in
+      let base = Traffic.Demand.volume s.Traffic.Traffic_gen.base ~src:0 ~dst:2 in
+      let avg =
+        Traffic.Demand.volume (Traffic.Traffic_gen.average s) ~src:0 ~dst:2
+      in
+      Float.abs (avg -. base) /. base < 0.25)
+
+let test_demand_io_roundtrip () =
+  let d = Traffic.Demand.of_list [ ((0, 1), 5.25); ((3, 2), 0.); ((7, 9), 1e6) ] in
+  let d2 = Traffic.Demand_io.of_csv (Traffic.Demand_io.to_csv d) in
+  check_int "cardinal" (Traffic.Demand.cardinal d) (Traffic.Demand.cardinal d2);
+  List.iter
+    (fun ((src, dst), v) ->
+      check_float "volume" v (Traffic.Demand.volume d2 ~src ~dst))
+    (Traffic.Demand.entries d)
+
+let test_demand_io_errors () =
+  let bad s =
+    match Traffic.Demand_io.of_csv s with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail "expected Failure"
+  in
+  bad "1,2";
+  bad "a,b,c";
+  bad "1,2,3,4";
+  (* comments and blanks ok *)
+  let d = Traffic.Demand_io.of_csv "# hdr\n\n1,2,3.5\n" in
+  check_float "parsed" 3.5 (Traffic.Demand.volume d ~src:1 ~dst:2)
+
+let suite =
+  [
+    ("demand basics", `Quick, test_demand_basics);
+    ("demand validation", `Quick, test_demand_validation);
+    ("demand union max", `Quick, test_demand_union_max);
+    ("gravity model", `Quick, test_gravity);
+    ("traffic generator", `Quick, test_traffic_gen);
+    ("envelope fixed", `Quick, test_envelope_fixed);
+    ("envelope ranges", `Quick, test_envelope_ranges);
+    ("demand io roundtrip", `Quick, test_demand_io_roundtrip);
+    ("demand io errors", `Quick, test_demand_io_errors);
+    QCheck_alcotest.to_alcotest prop_series_avg_near_base;
+  ]
+

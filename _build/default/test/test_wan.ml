@@ -1,0 +1,202 @@
+(* Topology, LAG, generator, Zoo and GML tests. *)
+
+let check_int = Alcotest.(check int)
+let check_float what expected got = Alcotest.(check (float 1e-9)) what expected got
+
+let test_lag_basics () =
+  let lag =
+    Wan.Lag.make ~id:0 ~src:0 ~dst:1
+      [
+        { Wan.Lag.link_capacity = 10.; fail_prob = 0.1 };
+        { Wan.Lag.link_capacity = 20.; fail_prob = 0.2 };
+      ]
+  in
+  check_float "capacity" 30. (Wan.Lag.capacity lag);
+  check_int "links" 2 (Wan.Lag.num_links lag);
+  check_float "partial capacity" 20. (Wan.Lag.capacity_with_failures lag [| true; false |]);
+  check_float "prob all down" 0.02 (Wan.Lag.prob_all_links_down lag);
+  check_int "other end" 1 (Wan.Lag.other_end lag 0);
+  check_int "other end rev" 0 (Wan.Lag.other_end lag 1)
+
+let test_lag_validation () =
+  let bad f = Alcotest.check_raises "rejects" (Invalid_argument "") (fun () ->
+      try f () with Invalid_argument _ -> raise (Invalid_argument ""))
+  in
+  bad (fun () -> ignore (Wan.Lag.make ~id:0 ~src:1 ~dst:1 [ { Wan.Lag.link_capacity = 1.; fail_prob = 0. } ]));
+  bad (fun () -> ignore (Wan.Lag.make ~id:0 ~src:0 ~dst:1 []));
+  bad (fun () -> ignore (Wan.Lag.make ~id:0 ~src:0 ~dst:1 [ { Wan.Lag.link_capacity = -1.; fail_prob = 0. } ]));
+  bad (fun () -> ignore (Wan.Lag.make ~id:0 ~src:0 ~dst:1 [ { Wan.Lag.link_capacity = 1.; fail_prob = 1. } ]))
+
+let test_topology_basics () =
+  let t = Wan.Generators.fig1 () in
+  check_int "nodes" 4 (Wan.Topology.num_nodes t);
+  check_int "lags" 5 (Wan.Topology.num_lags t);
+  check_int "links" 5 (Wan.Topology.num_links t);
+  Alcotest.(check bool) "connected" true (Wan.Topology.is_connected t);
+  check_float "avg lag capacity" 6.8 (Wan.Topology.avg_lag_capacity t);
+  check_int "node id by name" 3 (Wan.Topology.node_id t "D");
+  let bd = Wan.Topology.lag_between t 1 3 in
+  Alcotest.(check bool) "BD exists" true (bd <> None);
+  check_float "BD capacity" 8. (Wan.Lag.capacity (Option.get bd));
+  check_int "B degree" 2 (List.length (Wan.Topology.neighbors t 1))
+
+let test_topology_mutation () =
+  let t = Wan.Generators.fig1 () in
+  let t2 =
+    Wan.Topology.with_lag_links t ~lag_id:0
+      [
+        { Wan.Lag.link_capacity = 8.; fail_prob = 0.01 };
+        { Wan.Lag.link_capacity = 4.; fail_prob = 0.01 };
+      ]
+  in
+  check_float "augmented capacity" 12. (Wan.Lag.capacity (Wan.Topology.lag t2 0));
+  check_int "lags unchanged" 5 (Wan.Topology.num_lags t2);
+  let t3 = Wan.Topology.add_lag t ~src:1 ~dst:2 [ { Wan.Lag.link_capacity = 3.; fail_prob = 0.05 } ] in
+  check_int "lag added" 6 (Wan.Topology.num_lags t3);
+  Alcotest.(check bool) "BC exists now" true (Wan.Topology.lag_between t3 1 2 <> None)
+
+let test_virtual_gateway () =
+  let t = Wan.Generators.fig1 () in
+  let t2, v = Wan.Topology.add_virtual_gateway t ~name:"GW" ~attached:[ (1, 100.); (2, 100.) ] in
+  check_int "gateway id" 4 v;
+  check_int "nodes" 5 (Wan.Topology.num_nodes t2);
+  check_int "lags" 7 (Wan.Topology.num_lags t2);
+  check_int "gateway degree" 2 (List.length (Wan.Topology.neighbors t2 v));
+  (* gateway LAGs never fail *)
+  let glag = Option.get (Wan.Topology.lag_between t2 v 1) in
+  check_float "failure-free" 0. (Wan.Lag.prob_all_links_down glag)
+
+let test_generators () =
+  let ring = Wan.Generators.ring 6 in
+  check_int "ring lags" 6 (Wan.Topology.num_lags ring);
+  Alcotest.(check bool) "ring connected" true (Wan.Topology.is_connected ring);
+  let grid = Wan.Generators.grid 3 4 in
+  check_int "grid nodes" 12 (Wan.Topology.num_nodes grid);
+  check_int "grid lags" 17 (Wan.Topology.num_lags grid);
+  Alcotest.(check bool) "grid connected" true (Wan.Topology.is_connected grid);
+  let rgg = Wan.Generators.random_geometric ~seed:3 ~n:30 ~radius:0.2 () in
+  Alcotest.(check bool) "rgg connected" true (Wan.Topology.is_connected rgg);
+  let af = Wan.Generators.africa_like ~seed:1 ~n:12 () in
+  Alcotest.(check bool) "africa connected" true (Wan.Topology.is_connected af);
+  Alcotest.(check bool) "africa has multi-link lags" true (Wan.Topology.num_links af > Wan.Topology.num_lags af)
+
+let test_generators_deterministic () =
+  let a = Wan.Generators.africa_like ~seed:5 ~n:10 () in
+  let b = Wan.Generators.africa_like ~seed:5 ~n:10 () in
+  check_int "same lags" (Wan.Topology.num_lags a) (Wan.Topology.num_lags b);
+  check_float "same capacity" (Wan.Topology.avg_lag_capacity a) (Wan.Topology.avg_lag_capacity b)
+
+let test_zoo () =
+  let b4 = Wan.Zoo.b4 () in
+  check_int "b4 nodes" 12 (Wan.Topology.num_nodes b4);
+  check_int "b4 lags" 19 (Wan.Topology.num_lags b4);
+  check_float "b4 avg capacity" 5000. (Wan.Topology.avg_lag_capacity b4);
+  Alcotest.(check bool) "b4 connected" true (Wan.Topology.is_connected b4);
+  let ab = Wan.Zoo.abilene () in
+  check_int "abilene nodes" 11 (Wan.Topology.num_nodes ab);
+  check_int "abilene lags" 14 (Wan.Topology.num_lags ab);
+  Alcotest.(check bool) "abilene connected" true (Wan.Topology.is_connected ab);
+  let un = Wan.Zoo.uninett2010 () in
+  check_int "uninett nodes" 74 (Wan.Topology.num_nodes un);
+  check_int "uninett lags" 101 (Wan.Topology.num_lags un);
+  Alcotest.(check bool) "uninett connected" true (Wan.Topology.is_connected un);
+  let co = Wan.Zoo.cogentco () in
+  check_int "cogentco nodes" 197 (Wan.Topology.num_nodes co);
+  check_int "cogentco lags" 243 (Wan.Topology.num_lags co);
+  List.iter
+    (fun n -> Alcotest.(check bool) n true (Wan.Zoo.by_name n <> None))
+    Wan.Zoo.names;
+  Alcotest.(check bool) "unknown name" true (Wan.Zoo.by_name "nope" = None)
+
+let gml_sample =
+  {|
+# a Topology-Zoo style file
+graph [
+  directed 0
+  label "sample"
+  node [ id 3 label "Alpha" Country "X" ]
+  node [ id 7 label "Beta" ]
+  node [ id 9 label "Gamma" ]
+  edge [ source 3 target 7 LinkSpeed "10" ]
+  edge [ source 7 target 9 ]
+  edge [ source 9 target 3 ]
+  edge [ source 3 target 9 ]
+]
+|}
+
+let test_gml () =
+  let t = Wan.Gml.parse_string ~name:"sample" gml_sample in
+  check_int "nodes" 3 (Wan.Topology.num_nodes t);
+  (* parallel 3-9 / 9-3 edges collapse *)
+  check_int "lags" 3 (Wan.Topology.num_lags t);
+  check_int "Alpha id" 0 (Wan.Topology.node_id t "Alpha");
+  check_int "Gamma id" 2 (Wan.Topology.node_id t "Gamma");
+  Alcotest.(check bool) "connected" true (Wan.Topology.is_connected t)
+
+let test_gml_errors () =
+  let bad s =
+    match Wan.Gml.parse_string ~name:"bad" s with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail "expected Failure"
+  in
+  bad "graph [ node [ label \"x\" ] ]";
+  bad "node [ id 1 ]";
+  bad "graph [ node [ id 1 ] edge [ source 1 target 2 ] ]";
+  bad "graph [ node [ id 1 ] node [ id 2 ] edge [ source 1 ] ]"
+
+let test_serialize_roundtrip () =
+  let t = Wan.Generators.africa_like ~seed:4 ~n:9 () in
+  let t2 = Wan.Serialize.of_string (Wan.Serialize.to_string t) in
+  check_int "nodes" (Wan.Topology.num_nodes t) (Wan.Topology.num_nodes t2);
+  check_int "lags" (Wan.Topology.num_lags t) (Wan.Topology.num_lags t2);
+  check_int "links" (Wan.Topology.num_links t) (Wan.Topology.num_links t2);
+  Alcotest.(check string) "name" (Wan.Topology.name t) (Wan.Topology.name t2);
+  (* link-level equality, including probabilities *)
+  Array.iteri
+    (fun e (lag : Wan.Lag.t) ->
+      let lag2 = Wan.Topology.lag t2 e in
+      check_int "endpoints src" lag.Wan.Lag.src lag2.Wan.Lag.src;
+      check_int "endpoints dst" lag.Wan.Lag.dst lag2.Wan.Lag.dst;
+      Array.iteri
+        (fun i (l : Wan.Lag.link) ->
+          let l2 = lag2.Wan.Lag.links.(i) in
+          check_float "cap" l.Wan.Lag.link_capacity l2.Wan.Lag.link_capacity;
+          check_float "prob" l.Wan.Lag.fail_prob l2.Wan.Lag.fail_prob)
+        lag.Wan.Lag.links)
+    (Wan.Topology.lags t)
+
+let test_serialize_errors () =
+  let bad s =
+    match Wan.Serialize.of_string s with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail "expected Failure"
+  in
+  bad "lag 0 1\nlink 5 0.1";
+  (* missing nodes *)
+  bad "nodes 2\nlink 5 0.1";
+  (* link before lag *)
+  bad "nodes 2\nlag 0 1";
+  (* lag with no links *)
+  bad "nodes 2\nwhatever";
+  (* comments and blank lines are fine *)
+  let t =
+    Wan.Serialize.of_string "# comment\nwan x\nnodes 2\n\nlag 0 1\nlink 5 0.1\n"
+  in
+  check_int "parsed" 1 (Wan.Topology.num_lags t)
+
+let suite =
+  [
+    ("lag basics", `Quick, test_lag_basics);
+    ("lag validation", `Quick, test_lag_validation);
+    ("topology basics", `Quick, test_topology_basics);
+    ("topology mutation", `Quick, test_topology_mutation);
+    ("virtual gateway", `Quick, test_virtual_gateway);
+    ("generators", `Quick, test_generators);
+    ("generators deterministic", `Quick, test_generators_deterministic);
+    ("zoo topologies", `Quick, test_zoo);
+    ("gml parser", `Quick, test_gml);
+    ("gml errors", `Quick, test_gml_errors);
+    ("serialize roundtrip", `Quick, test_serialize_roundtrip);
+    ("serialize errors", `Quick, test_serialize_errors);
+  ]
+
