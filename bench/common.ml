@@ -9,9 +9,10 @@ type ctx = {
   budget : float;  (** per-solve wall-clock budget, seconds *)
   full : bool;
   quick : bool;  (** trimmed grids for smoke runs *)
+  domains : int;  (** OCaml domains for the scenario-sweep experiments *)
 }
 
-let default_ctx = { budget = 10.; full = false; quick = false }
+let default_ctx = { budget = 10.; full = false; quick = false; domains = 1 }
 
 let printf = Format.printf
 
@@ -60,6 +61,19 @@ let options ctx spec = { (Raha.Analysis.with_timeout ctx.budget) with spec }
 
 let analyze ctx sp topo paths envelope =
   Raha.Analysis.analyze ~options:(options ctx sp) topo paths envelope
+
+(* Evaluate one independent cell per array entry across ctx.domains
+   domains, order-preserving, and emit the per-sweep stats line. Cells
+   keep options.domains = 1 — the parallelism lives at the sweep level,
+   and nested pools are rejected by design. *)
+let par_cells ctx f cells =
+  if ctx.domains <= 1 || Array.length cells < 2 then Array.map f cells
+  else
+    Parallel.Pool.with_pool ~counters:Milp.Solver.stats_counters ~domains:ctx.domains
+      (fun pool ->
+        let out = Parallel.Pool.map_array pool f cells in
+        row "%a@." Parallel.Pool.pp_stats (Parallel.Pool.stats pool);
+        out)
 
 (* Normalized degradation string with a gap marker when the solve hit its
    budget (the paper's timeout behaviour, §6). *)

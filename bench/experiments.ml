@@ -147,20 +147,36 @@ let fig56 ~ce ctx =
       ("variable", Traffic.Envelope.from_zero ~slack:0.3 avg);
     ]
   in
-  List.iter
-    (fun (mode, envelope) ->
+  (* the whole modes x thresholds x k grid is one scenario sweep: every
+     cell is an independent bi-level solve, fanned out over ctx.domains *)
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun (_, envelope) ->
+           List.concat_map
+             (fun thr -> List.map (fun k -> (envelope, thr, k)) (ks ctx))
+             (thresholds ctx))
+         modes)
+  in
+  let results =
+    par_cells ctx
+      (fun (envelope, thr, k) ->
+        let sp = spec ~threshold:thr ?max_failures:k ~ce () in
+        deg_str (analyze ctx sp topo paths envelope))
+      cells
+  in
+  let nk = List.length (ks ctx) and nthr = List.length (thresholds ctx) in
+  List.iteri
+    (fun mi (mode, _) ->
       row "@.[%s demand]@." mode;
       row "%-12s" "threshold";
       List.iter (fun k -> row " k=%-8s" (k_str k)) (ks ctx);
       row "@.";
-      List.iter
-        (fun thr ->
+      List.iteri
+        (fun ti thr ->
           row "%-12g" thr;
-          List.iter
-            (fun k ->
-              let sp = spec ~threshold:thr ?max_failures:k ~ce () in
-              let r = analyze ctx sp topo paths envelope in
-              row " %-10s" (deg_str r))
+          List.iteri
+            (fun ki _ -> row " %-10s" results.((((mi * nthr) + ti) * nk) + ki))
             (ks ctx);
           row "@.")
         (thresholds ctx))
@@ -179,18 +195,25 @@ let fig7 ctx =
   let paths = paths_of topo pairs in
   let avg = base_demand pairs in
   let slacks = if ctx.quick then [ 0.; 2. ] else [ 0.; 0.5; 1.; 2.; 4. ] in
+  let cells =
+    Array.of_list
+      (List.concat_map (fun slack -> List.map (fun k -> (slack, k)) (ks ctx)) slacks)
+  in
+  let results =
+    par_cells ctx
+      (fun (slack, k) ->
+        let sp = spec ~threshold:1e-5 ?max_failures:k () in
+        deg_str (analyze ctx sp topo paths (Traffic.Envelope.from_zero ~slack avg)))
+      cells
+  in
+  let nk = List.length (ks ctx) in
   row "%-10s" "slack(%)";
   List.iter (fun k -> row " k=%-8s" (k_str k)) (ks ctx);
   row "@.";
-  List.iter
-    (fun slack ->
+  List.iteri
+    (fun si slack ->
       row "%-10.0f" (100. *. slack);
-      List.iter
-        (fun k ->
-          let sp = spec ~threshold:1e-5 ?max_failures:k () in
-          let r = analyze ctx sp topo paths (Traffic.Envelope.from_zero ~slack avg) in
-          row " %-10s" (deg_str r))
-        (ks ctx);
+      List.iteri (fun ki _ -> row " %-10s" results.((si * nk) + ki)) (ks ctx);
       row "@.")
     slacks;
   row "(paper: monotone growth, larger for larger k)@."
@@ -577,14 +600,29 @@ let montecarlo ctx =
   let paths = paths_of topo pairs in
   let peak = Traffic.Demand.scale 1.3 (base_demand pairs) in
   let samples = if ctx.quick then 2000 else 20_000 in
-  let degs, scens = Te.Monte_carlo.sample_degradations ~seed:1 ~samples topo paths peak in
-  let s = Te.Monte_carlo.summarize degs scens in
   let avg_cap = Wan.Topology.avg_lag_capacity topo in
+  let degs, scens, oracle =
+    Parallel.Pool.with_pool ~counters:Milp.Solver.stats_counters ~domains:ctx.domains
+      (fun pool ->
+        let degs, scens =
+          Te.Monte_carlo.sample_degradations ~pool ~seed:1 ~samples topo paths peak
+        in
+        (* brute-force enumeration to k=2 on the same pool: the oracle
+           the sampled tail is compared against *)
+        let oracle = Raha.Baselines.enumerate_failures ~pool ~k:2 topo paths peak in
+        if ctx.domains > 1 then
+          row "%a@." Parallel.Pool.pp_stats (Parallel.Pool.stats pool);
+        (degs, scens, oracle))
+  in
+  let s = Te.Monte_carlo.summarize degs scens in
   row "monte carlo (%d samples): mean %.3f p99 %.3f max %.3f (normalized)@."
     s.Te.Monte_carlo.samples
     (s.Te.Monte_carlo.mean /. avg_cap)
     (s.Te.Monte_carlo.p99 /. avg_cap)
     (s.Te.Monte_carlo.max_seen /. avg_cap);
+  row "enumeration to k=2 (%d scenarios, %.1fs): worst %.3f (normalized)@."
+    oracle.Raha.Baselines.scenarios_evaluated oracle.Raha.Baselines.elapsed
+    (oracle.Raha.Baselines.worst /. avg_cap);
   List.iter
     (fun thr ->
       let sp = spec ~threshold:thr () in

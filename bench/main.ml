@@ -8,24 +8,28 @@
      dune exec bench/main.exe -- --quick      trimmed grids (smoke run)
      dune exec bench/main.exe -- --full       larger topologies and budgets
      dune exec bench/main.exe -- --budget 30  per-solve budget (seconds)
+     dune exec bench/main.exe -- --domains 4  parallelism of the scenario sweeps
      dune exec bench/main.exe -- --skip-micro skip the Bechamel timings *)
 
 let () =
   let only = ref [] and list = ref false in
   let budget = ref Common.default_ctx.Common.budget in
+  let domains = ref (Domain.recommended_domain_count ()) in
   let quick = ref false and full = ref false and skip_micro = ref false in
   let args =
     [
       ("--list", Arg.Set list, " list experiment ids");
       ("--only", Arg.String (fun s -> only := String.split_on_char ',' s), "IDS comma-separated ids");
       ("--budget", Arg.Set_float budget, "SECONDS per-solve budget (default 10)");
+      ("--domains", Arg.Set_int domains,
+       "N OCaml domains for the scenario sweeps (default: all cores; 1 = sequential)");
       ("--quick", Arg.Set quick, " trimmed grids");
       ("--full", Arg.Set full, " larger topologies and budgets");
       ("--skip-micro", Arg.Set skip_micro, " skip the Bechamel micro-benchmarks");
     ]
   in
   Arg.parse (Arg.align args) (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
-    "bench/main.exe [--list] [--only IDS] [--budget S] [--quick|--full]";
+    "bench/main.exe [--list] [--only IDS] [--budget S] [--domains N] [--quick|--full]";
   if !list then begin
     List.iter
       (fun (id, desc, _) -> Format.printf "%-8s %s@." id desc)
@@ -38,6 +42,7 @@ let () =
         Common.budget = (if !full then 4. *. !budget else !budget);
         full = !full;
         quick = !quick;
+        domains = max 1 !domains;
       }
     in
     let selected = function

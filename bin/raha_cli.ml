@@ -159,6 +159,14 @@ let volume_arg =
 let timeout_arg =
   Arg.(value & opt float 60. & info [ "timeout" ] ~doc:"Solver budget in seconds.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "domains" ]
+        ~doc:
+          "OCaml domains used for scenario-evaluation sweeps (default: all cores;               $(b,1) forces the sequential path — results are identical either way).")
+
 let clusters_arg =
   Arg.(value & opt int 1 & info [ "clusters" ] ~doc:"Clusters for Algorithm 1 (1 = off).")
 
@@ -207,7 +215,7 @@ type setup = {
 }
 
 let make_setup topo pairs num_pairs primary backup threshold max_failures ce slack
-    volume timeout encoding objective demand_file =
+    volume timeout domains encoding objective demand_file =
   let base =
     match demand_file with
     | Some path -> Traffic.Demand_io.load path
@@ -234,14 +242,16 @@ let make_setup topo pairs num_pairs primary backup threshold max_failures ce sla
       objective;
     }
   in
-  let options = { (Raha.Analysis.with_timeout timeout) with spec } in
+  let options =
+    { (Raha.Analysis.with_timeout timeout) with spec; domains = max 1 domains }
+  in
   { topo; paths; envelope; options }
 
 let setup_term =
   Term.(
     const make_setup $ topology_arg $ pairs_arg $ num_pairs_arg $ primary_arg
     $ backup_arg $ threshold_arg $ max_failures_arg $ ce_arg $ slack_arg $ volume_arg
-    $ timeout_arg $ encoding_arg $ objective_arg $ demand_file_arg)
+    $ timeout_arg $ domains_arg $ encoding_arg $ objective_arg $ demand_file_arg)
 
 (* --- subcommands ------------------------------------------------------- *)
 

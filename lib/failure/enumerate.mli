@@ -24,3 +24,8 @@ val lag_failures_up_to_k : Wan.Topology.t -> k:int -> Scenario.t list
 
 (** Number of scenarios [up_to_k] would produce (no allocation). *)
 val count_up_to_k : Wan.Topology.t -> k:int -> int
+
+(** [binomial n k] is the exact binomial coefficient C(n, k) (0 when
+    [k < 0] or [k > n]). Exposed for the counting identities the tests
+    check [count_up_to_k] against. *)
+val binomial : int -> int -> int

@@ -21,8 +21,12 @@ let eps_pivot = 1e-9
 let eps_cost = 1e-9
 let eps_feas = 1e-7
 
-let iterations = ref 0
-let last_iterations () = !iterations
+(* Pivot counter. Domain-local so concurrent solves on a worker pool
+   never race: each domain counts its own pivots and the pool aggregates
+   the per-domain deltas (Parallel.Pool counter hooks). *)
+let iterations_key = Domain.DLS.new_key (fun () -> ref 0)
+let cumulative_iterations () = !(Domain.DLS.get iterations_key)
+let last_iterations = cumulative_iterations
 
 type tab = {
   m : int; (* rows *)
@@ -79,6 +83,7 @@ let pivot t r jc =
    [`Unbounded] or [`Iters]. *)
 let run_phase t c ~blocked ~max_iters =
   let n = t.n and m = t.m in
+  let iterations = Domain.DLS.get iterations_key in
   let stall = ref 0 and bland = ref false in
   let rec loop iters =
     if iters > max_iters then `Iters

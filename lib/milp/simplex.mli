@@ -26,6 +26,12 @@ val solve :
   Model.t ->
   result
 
-(** Number of simplex pivots performed by the last [solve] call
-    (diagnostic; useful for benchmarking). *)
+(** Cumulative number of simplex pivots performed on the {e calling
+    domain}. The counter is domain-local, so concurrent solves on a
+    worker pool never race; read it before and after a region to get
+    that region's pivot count (diagnostic; useful for benchmarking and
+    as a [Parallel.Pool] counter hook). *)
+val cumulative_iterations : unit -> int
+
+(** Alias of {!cumulative_iterations} (historical name). *)
 val last_iterations : unit -> int

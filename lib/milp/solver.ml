@@ -87,6 +87,8 @@ let bool_value sol v = value sol v > 0.5
 
 let has_point sol = match sol.status with Optimal | Feasible -> true | _ -> false
 
+let stats_counters = [ ("simplex", Simplex.cumulative_iterations) ]
+
 let pp_status ppf = function
   | Optimal -> Format.pp_print_string ppf "optimal"
   | Feasible -> Format.pp_print_string ppf "feasible"

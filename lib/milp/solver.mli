@@ -47,4 +47,9 @@ val bool_value : solution -> Model.var -> bool
 (** True when the solution carries a usable point (Optimal or Feasible). *)
 val has_point : solution -> bool
 
+(** Domain-local cumulative counter hooks (currently the simplex pivot
+    count), in the shape [Parallel.Pool.create ~counters] expects — pass
+    this to a pool to have solver work aggregated into its stats. *)
+val stats_counters : (string * (unit -> int)) list
+
 val pp_status : Format.formatter -> status -> unit

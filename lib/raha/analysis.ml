@@ -5,6 +5,7 @@ type options = {
   rel_gap : float;
   log : bool;
   seed_enumeration : int option;
+  domains : int;
 }
 
 let default_options =
@@ -15,6 +16,7 @@ let default_options =
     rel_gap = 1e-4;
     log = false;
     seed_enumeration = None;
+    domains = 1;
   }
 
 let with_timeout t = { default_options with time_limit = t }
@@ -39,7 +41,15 @@ type report = {
    whole-LAG failure, and the greedy most-probable multi-failure scenario
    — filtered by the spec's constraints and ranked by simulated impact.
    Each becomes a plunge hint (a warm start for the MILP search). *)
-let seed_candidates spec topo paths envelope ~limit =
+(* Evaluate [f] over the array on [domains] domains; order-preserving,
+   so downstream ranking is identical whatever the parallelism. *)
+let par_map ~domains f arr =
+  if domains <= 1 || Array.length arr < 2 then Array.map f arr
+  else
+    Parallel.Pool.with_pool ~counters:Milp.Solver.stats_counters ~domains (fun pool ->
+        Parallel.Pool.map_array pool f arr)
+
+let seed_candidates spec topo paths envelope ~limit ~domains =
   let pairs = Traffic.Envelope.pairs envelope in
   let hi =
     Traffic.Demand.of_list
@@ -94,7 +104,10 @@ let seed_candidates spec topo paths envelope ~limit =
       | None -> neg_infinity)
   in
   let scored =
-    List.map (fun s -> (score s, s)) candidates
+    (* one independent simulator LP per candidate: the sweep the pool
+       parallelizes; scores come back in candidate order *)
+    let arr = Array.of_list candidates in
+    Array.to_list (par_map ~domains (fun s -> (score s, s)) arr)
     |> List.filter (fun (sc, _) -> sc > neg_infinity)
     |> List.sort (fun (a, _) (b, _) -> compare b a)
   in
@@ -115,7 +128,7 @@ let analyze ?(options = default_options) topo paths envelope =
     | Some 0 -> []
     | limit ->
       let limit = Option.value limit ~default:6 in
-      seed_candidates options.spec topo paths envelope ~limit
+      seed_candidates options.spec topo paths envelope ~limit ~domains:options.domains
       |> List.map (fun (s, d) -> Bilevel.hint built ~scenario:s ~demand:d)
   in
   let solver_options =

@@ -18,6 +18,11 @@ type options = {
           most-probable multi-failure, the empty scenario) simulated and
           fed to the solver as warm-start hints. [None] defaults to 6;
           [Some 0] disables seeding. *)
+  domains : int;
+      (** OCaml domains used for the scenario-evaluation sweeps (seed
+          candidate scoring here, enumeration in {!Baselines}). [1]
+          (the default) is the exact sequential path; results are
+          identical for any value. *)
 }
 
 val default_options : options

@@ -1,3 +1,38 @@
+type enumeration = {
+  worst : float;
+  worst_scenario : Failure.Scenario.t;
+  scenarios_evaluated : int;
+  elapsed : float;
+}
+
+let enumerate_failures ?(objective = Te.Formulation.Total_flow) ?(domains = 1) ?pool ~k
+    topo paths demand =
+  let t0 = Unix.gettimeofday () in
+  let scenarios = Array.of_list (Failure.Enumerate.up_to_k topo ~k) in
+  let eval s =
+    match Te.Simulate.degradation ~objective topo paths demand s with
+    | Some d -> d
+    | None -> neg_infinity (* infeasible routing (disconnected MLU pair) *)
+  in
+  let degs =
+    match pool with
+    | Some pool -> Parallel.Pool.map_array pool eval scenarios
+    | None ->
+      if domains <= 1 then Array.map eval scenarios
+      else
+        Parallel.Pool.with_pool ~counters:Milp.Solver.stats_counters ~domains
+          (fun pool -> Parallel.Pool.map_array pool eval scenarios)
+  in
+  (* deterministic arg-max: first index attaining the maximum *)
+  let worst_i = ref 0 in
+  Array.iteri (fun i d -> if d > degs.(!worst_i) then worst_i := i) degs;
+  {
+    worst = degs.(!worst_i);
+    worst_scenario = scenarios.(!worst_i);
+    scenarios_evaluated = Array.length scenarios;
+    elapsed = Unix.gettimeofday () -. t0;
+  }
+
 let k_failures ?(options = Analysis.default_options) ~k topo paths envelope =
   let spec =
     { options.Analysis.spec with Bilevel.max_failures = Some k; threshold = None }

@@ -9,6 +9,34 @@
       implied degradation: healthy performance at the same demand minus
       the failed performance — the quantity Fig. 3 plots. *)
 
+(** Result of {!enumerate_failures}: the worst simulated degradation
+    over every scenario with at most [k] failed links. *)
+type enumeration = {
+  worst : float;
+  worst_scenario : Failure.Scenario.t;
+  scenarios_evaluated : int;
+  elapsed : float;
+}
+
+(** [enumerate_failures ~k topo paths demand] is the brute-force variant
+    of the "up to k failures" baseline: enumerate
+    {!Failure.Enumerate.up_to_k} and route every scenario with
+    {!Te.Simulate} at the fixed [demand], in parallel over [domains]
+    OCaml domains (or on [pool], which takes precedence). The result is
+    identical for any parallelism (ties break toward the first scenario
+    in enumeration order).
+    @raise Invalid_argument when the scenario count explodes (see
+    {!Failure.Enumerate.up_to_k}). *)
+val enumerate_failures :
+  ?objective:Te.Formulation.objective ->
+  ?domains:int ->
+  ?pool:Parallel.Pool.t ->
+  k:int ->
+  Wan.Topology.t ->
+  Netpath.Path_set.t ->
+  Traffic.Demand.t ->
+  enumeration
+
 (** [k_failures ~options ~k topo paths envelope]. *)
 val k_failures :
   ?options:Analysis.options ->

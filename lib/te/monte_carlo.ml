@@ -20,10 +20,16 @@ let sample_scenario rng topo =
     (Wan.Topology.lags topo);
   Failure.Scenario.of_links topo !links
 
-let sample_degradations ?(objective = Formulation.Total_flow) ~seed ~samples topo paths
-    demand =
+(* Samples are drawn in fixed blocks of [rng_block], each from its own
+   RNG seeded with [| seed; block |]. The block layout never depends on
+   the domain count (the pool's scheduling chunks are independent of
+   it), so a run is bit-identical for any [~domains] given the same
+   [~seed] — the determinism contract DESIGN.md documents. *)
+let rng_block = 64
+
+let sample_degradations ?(objective = Formulation.Total_flow) ?(domains = 1) ?pool ~seed
+    ~samples topo paths demand =
   if samples <= 0 then invalid_arg "Monte_carlo.sample_degradations: samples <= 0";
-  let rng = Random.State.make [| seed |] in
   let healthy =
     match Simulate.healthy ~objective topo paths demand with
     | Some h -> h
@@ -31,18 +37,30 @@ let sample_degradations ?(objective = Formulation.Total_flow) ~seed ~samples top
   in
   let degradations = Array.make samples 0. in
   let scenarios = Array.make samples Failure.Scenario.empty in
-  for i = 0 to samples - 1 do
-    let s = sample_scenario rng topo in
-    scenarios.(i) <- s;
-    degradations.(i) <-
-      (match Simulate.route ~objective ~healthy topo paths demand s with
-      | Some f -> (
-        match objective with
-        | Formulation.Mlu _ -> f.Simulate.performance -. healthy.Simulate.performance
-        | Formulation.Total_flow | Formulation.Max_min _ ->
-          healthy.Simulate.performance -. f.Simulate.performance)
-      | None -> healthy.Simulate.performance)
-  done;
+  let sample_block b =
+    let rng = Random.State.make [| seed; b |] in
+    let hi = min samples ((b + 1) * rng_block) in
+    for i = b * rng_block to hi - 1 do
+      let s = sample_scenario rng topo in
+      scenarios.(i) <- s;
+      degradations.(i) <-
+        (match Simulate.route ~objective ~healthy topo paths demand s with
+        | Some f -> (
+          match objective with
+          | Formulation.Mlu _ -> f.Simulate.performance -. healthy.Simulate.performance
+          | Formulation.Total_flow | Formulation.Max_min _ ->
+            healthy.Simulate.performance -. f.Simulate.performance)
+        | None -> healthy.Simulate.performance)
+    done
+  in
+  let blocks = Array.init ((samples + rng_block - 1) / rng_block) Fun.id in
+  (match pool with
+  | Some pool -> Parallel.Pool.iter_array pool sample_block blocks
+  | None ->
+    if domains <= 1 then Array.iter sample_block blocks
+    else
+      Parallel.Pool.with_pool ~counters:Milp.Solver.stats_counters ~domains (fun pool ->
+          Parallel.Pool.iter_array pool sample_block blocks));
   (degradations, scenarios)
 
 let summarize degradations scenarios =
@@ -50,9 +68,12 @@ let summarize degradations scenarios =
   if n = 0 || Array.length scenarios <> n then invalid_arg "Monte_carlo.summarize";
   let idx = Array.init n Fun.id in
   Array.sort (fun a b -> compare degradations.(a) degradations.(b)) idx;
+  (* nearest-rank percentile: the q-quantile of n sorted values is the
+     ceil(q*n)-th smallest (1-based), so small samples round toward the
+     lower order statistic instead of past it *)
   let at q =
-    let i = min (n - 1) (int_of_float (Float.of_int n *. q)) in
-    degradations.(idx.(i))
+    let rank = int_of_float (Float.ceil (q *. Float.of_int n)) in
+    degradations.(idx.(min (n - 1) (max 0 (rank - 1))))
   in
   let worst = idx.(n - 1) in
   {

@@ -22,9 +22,18 @@ type summary = {
     [samples] independent scenarios (each link fails independently with
     its configured probability) and returns the degradations in the
     order drawn. Scenarios whose routing is infeasible (MLU with a
-    disconnected pair) count as the healthy network's full performance. *)
+    disconnected pair) count as the healthy network's full performance.
+
+    Samples are drawn in fixed 64-sample blocks, each from an RNG seeded
+    [Random.State.make [| seed; block |]], and routed across [domains]
+    OCaml domains (or a caller-supplied [pool], which takes precedence).
+    The block layout is independent of the parallelism, so the returned
+    arrays are bit-identical for a given [seed] whatever [domains] is;
+    [domains = 1] (the default) runs inline on the caller. *)
 val sample_degradations :
   ?objective:Formulation.objective ->
+  ?domains:int ->
+  ?pool:Parallel.Pool.t ->
   seed:int ->
   samples:int ->
   Wan.Topology.t ->
@@ -32,7 +41,9 @@ val sample_degradations :
   Traffic.Demand.t ->
   float array * Failure.Scenario.t array
 
-(** Summarize a sample run. @raise Invalid_argument on empty input. *)
+(** Summarize a sample run; percentiles follow the nearest-rank rule
+    (the ceil(q*n)-th smallest value).
+    @raise Invalid_argument on empty input. *)
 val summarize : float array -> Failure.Scenario.t array -> summary
 
 (** [prob_degradation_above degradations x] is the empirical probability

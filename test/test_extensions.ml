@@ -94,6 +94,27 @@ let test_monte_carlo_misses_rare_worst_case () =
   Alcotest.(check bool) "raha >= sampled max" true
     (raha.Raha.Analysis.degradation +. 1e-6 >= s.Te.Monte_carlo.max_seen)
 
+let test_summarize_nearest_rank () =
+  (* pins the nearest-rank rule: percentile q is the ceil(q*n)-th
+     smallest value (regression for an off-by-one that read past the
+     intended rank on small n) *)
+  let scen n = Array.make n Failure.Scenario.empty in
+  let s1 = Te.Monte_carlo.summarize [| 5. |] (scen 1) in
+  check_float "n=1 p50" 5. s1.Te.Monte_carlo.p50;
+  check_float "n=1 p95" 5. s1.Te.Monte_carlo.p95;
+  check_float "n=1 p99" 5. s1.Te.Monte_carlo.p99;
+  let s4 = Te.Monte_carlo.summarize [| 4.; 1.; 3.; 2. |] (scen 4) in
+  (* ceil(0.5*4)=2nd, ceil(0.95*4)=4th, ceil(0.99*4)=4th smallest *)
+  check_float "n=4 p50" 2. s4.Te.Monte_carlo.p50;
+  check_float "n=4 p95" 4. s4.Te.Monte_carlo.p95;
+  check_float "n=4 p99" 4. s4.Te.Monte_carlo.p99;
+  check_float "n=4 max" 4. s4.Te.Monte_carlo.max_seen;
+  let v100 = Array.init 100 (fun i -> float_of_int (((i * 37) mod 100) + 1)) in
+  let s100 = Te.Monte_carlo.summarize v100 (scen 100) in
+  check_float "n=100 p50" 50. s100.Te.Monte_carlo.p50;
+  check_float "n=100 p95" 95. s100.Te.Monte_carlo.p95;
+  check_float "n=100 p99" 99. s100.Te.Monte_carlo.p99
+
 let test_monte_carlo_deterministic () =
   let paths, d = mc_setup () in
   let a, _ = Te.Monte_carlo.sample_degradations ~seed:3 ~samples:200 fig1 paths d in
@@ -311,6 +332,7 @@ let suite =
     ("monte carlo distribution", `Quick, test_monte_carlo_distribution);
     ("monte carlo misses rare worst case", `Quick, test_monte_carlo_misses_rare_worst_case);
     ("monte carlo deterministic", `Quick, test_monte_carlo_deterministic);
+    ("summarize nearest-rank percentiles", `Quick, test_summarize_nearest_rank);
     ("maxmin bilevel", `Quick, test_maxmin_bilevel);
     ("kkt forces inner optimality", `Quick, test_kkt_forces_optimality);
     ("strong duality forces inner optimality", `Quick, test_sd_forces_optimality);

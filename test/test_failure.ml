@@ -210,6 +210,52 @@ let test_enumerate_guards () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "limit enforced"
 
+let test_enumerate_counting_properties () =
+  (* up_to_k emits exactly count_up_to_k scenarios, all distinct, all
+     within the failure budget — on fig1 and a generated WAN *)
+  let topos =
+    [ ("fig1", fig1); ("africa8", Wan.Generators.africa_like ~seed:5 ~n:8 ()) ]
+  in
+  List.iter
+    (fun (name, t) ->
+      for k = 0 to 3 do
+        let label fmt = Printf.sprintf ("%s k=%d " ^^ fmt) name k in
+        let l = Failure.Enumerate.up_to_k t ~k in
+        check_int (label "count matches") (Failure.Enumerate.count_up_to_k t ~k)
+          (List.length l);
+        check_int (label "no duplicates") (List.length l)
+          (List.length (List.sort_uniq Failure.Scenario.compare l));
+        List.iter
+          (fun s ->
+            Alcotest.(check bool) (label "within budget") true
+              (Failure.Scenario.num_failed s <= k))
+          l;
+        Alcotest.(check bool) (label "includes empty") true
+          (List.exists (Failure.Scenario.equal Failure.Scenario.empty) l)
+      done)
+    topos
+
+let test_binomial_matches_pascal () =
+  (* float Pascal triangle is exact below 2^53, far above C(30, 15) *)
+  let tbl = Array.make_matrix 31 31 0. in
+  for n = 0 to 30 do
+    tbl.(n).(0) <- 1.;
+    for k = 1 to n do
+      tbl.(n).(k) <- tbl.(n - 1).(k - 1) +. (if k <= n - 1 then tbl.(n - 1).(k) else 0.)
+    done
+  done;
+  for n = 0 to 30 do
+    for k = 0 to n do
+      check_float ~eps:0.
+        (Printf.sprintf "C(%d,%d)" n k)
+        tbl.(n).(k)
+        (float_of_int (Failure.Enumerate.binomial n k))
+    done
+  done;
+  check_int "k < 0" 0 (Failure.Enumerate.binomial 5 (-1));
+  check_int "k > n" 0 (Failure.Enumerate.binomial 5 6);
+  check_int "C(0,0)" 1 (Failure.Enumerate.binomial 0 0)
+
 let test_scenario_validation () =
   (match Failure.Scenario.of_links fig1 [ (99, 0) ] with
   | exception Invalid_argument _ -> ()
@@ -249,6 +295,8 @@ let suite =
     ("lag failures", `Quick, test_lag_failures);
     ("srlg", `Quick, test_srlg);
     ("enumerate guards", `Quick, test_enumerate_guards);
+    ("enumerate counting properties", `Quick, test_enumerate_counting_properties);
+    ("binomial matches pascal triangle", `Quick, test_binomial_matches_pascal);
     ("scenario validation", `Quick, test_scenario_validation);
     ("zero-probability links", `Quick, test_probability_zero_prob_links);
     QCheck_alcotest.to_alcotest prop_greedy_matches_enumeration;

@@ -10,4 +10,6 @@ let () =
       ("raha tools", Test_raha_tools.suite);
       ("traffic", Test_traffic.suite);
       ("extensions", Test_extensions.suite);
+      ("simplex diff", Test_simplex_diff.suite);
+      ("parallel", Test_parallel.suite);
     ]
