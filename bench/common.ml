@@ -10,9 +10,11 @@ type ctx = {
   full : bool;
   quick : bool;  (** trimmed grids for smoke runs *)
   domains : int;  (** OCaml domains for the scenario-sweep experiments *)
+  presolve : bool;  (** MILP presolve for every solve ([--no-presolve]) *)
 }
 
-let default_ctx = { budget = 10.; full = false; quick = false; domains = 1 }
+let default_ctx =
+  { budget = 10.; full = false; quick = false; domains = 1; presolve = true }
 
 let printf = Format.printf
 
@@ -57,7 +59,8 @@ let spec ?(objective = Te.Formulation.Total_flow) ?threshold ?max_failures ?(ce 
     encoding = Raha.Bilevel.Strong_duality { levels };
   }
 
-let options ctx spec = { (Raha.Analysis.with_timeout ctx.budget) with spec }
+let options ctx spec =
+  { (Raha.Analysis.with_timeout ctx.budget) with spec; presolve = ctx.presolve }
 
 let analyze ctx sp topo paths envelope =
   Raha.Analysis.analyze ~options:(options ctx sp) topo paths envelope

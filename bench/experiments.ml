@@ -590,6 +590,68 @@ let ablation ctx =
   row
     "(strong duality explores far fewer nodes; KKT is exact for continuous demands      but searches more)@."
 
+(* ------------------------------------------------------------- presolve *)
+
+(* Presolve ablation over the bilevel encodings: model shrinkage from the
+   Milp.Presolve reductions, then the end-to-end solve cost (nodes,
+   simplex pivots, wall time) with presolve on vs off. The measured rows
+   are recorded in BENCH_presolve.json. *)
+let presolve_bench ctx =
+  section ctx ~id:"presolve"
+    ~paper:"MILP presolve / big-M tightening ablation (DESIGN.md)"
+    ~config:"fig1 worked example (sd:5, kkt) + africa-like WAN (8 nodes, sd:3)";
+  let cells =
+    let f1 = Wan.Generators.fig1 () in
+    let f1_paths = paths_of ~primary:2 ~backup:0 f1 [ (1, 3); (2, 3) ] in
+    let f1_env =
+      Traffic.Envelope.around ~slack:0.5
+        (Traffic.Demand.of_list [ ((1, 3), 12.); ((2, 3), 10.) ])
+    in
+    let sp5 = spec ~max_failures:1 ~levels:5 () in
+    let topo, pairs = wan_small () in
+    let paths = paths_of topo pairs in
+    let env = Traffic.Envelope.from_zero ~slack:0.3 (base_demand pairs) in
+    [
+      ("fig1 / sd:5", sp5, f1, f1_paths, f1_env);
+      ("fig1 / kkt", { sp5 with Raha.Bilevel.encoding = Raha.Bilevel.Kkt }, f1,
+       f1_paths, f1_env);
+      ("wan8 / sd:3", spec ~threshold:1e-5 (), topo, paths, env);
+    ]
+  in
+  row "%-14s %8s %6s %5s %4s %8s %6s %5s %6s %6s@." "model" "rows" "cols" "int"
+    "->" "rows" "cols" "bigM" "fixed" "passes";
+  List.iter
+    (fun (name, sp, topo, paths, env) ->
+      let built = Raha.Bilevel.build sp topo paths env in
+      let m = built.Raha.Bilevel.model in
+      match Milp.Presolve.presolve m with
+      | Milp.Presolve.Reduced { model = rm; stats; _ } ->
+        row "%-14s %8d %6d %5d %4s %8d %6d %5d %6d %6d@." name
+          (Milp.Model.num_cons m) (Milp.Model.num_vars m)
+          (Milp.Model.num_int_vars m) "->" (Milp.Model.num_cons rm)
+          (Milp.Model.num_vars rm) stats.Milp.Presolve.big_ms_tightened
+          stats.Milp.Presolve.cols_fixed stats.Milp.Presolve.passes
+      | Milp.Presolve.Infeasible _ -> row "%-14s infeasible@." name)
+    cells;
+  row "@.%-14s %-9s %-12s %-8s %-8s %-10s@." "cell" "presolve" "degradation"
+    "time(s)" "nodes" "pivots";
+  List.iter
+    (fun (name, sp, topo, paths, env) ->
+      List.iter
+        (fun ps ->
+          let opts = { (options ctx sp) with Raha.Analysis.presolve = ps } in
+          let p0 = Milp.Simplex.cumulative_iterations () in
+          let t0 = Unix.gettimeofday () in
+          let r = Raha.Analysis.analyze ~options:opts topo paths env in
+          row "%-14s %-9s %-12s %-8.2f %-8d %-10d@." name
+            (if ps then "on" else "off")
+            (deg_str r)
+            (Unix.gettimeofday () -. t0)
+            r.Raha.Analysis.nodes
+            (Milp.Simplex.cumulative_iterations () - p0))
+        [ true; false ])
+    cells
+
 (* ---------------------------------------------------------- monte carlo *)
 
 let montecarlo ctx =
@@ -690,6 +752,7 @@ let all : (string * string * (ctx -> unit)) list =
     ("tab4", "Cogentco degradation table (8 clusters)", tab4);
     ("mlu", "worst-case MLU degradation vs slack (§8.5)", mlu);
     ("ablation", "strong-duality vs KKT encoding (design choice)", ablation);
+    ("presolve", "MILP presolve / big-M tightening on vs off", presolve_bench);
     ("montecarlo", "Monte Carlo sampling vs Raha's worst case (§1)", montecarlo);
     ("ffc", "FFC-protected network still degrades beyond k (§2.2)", ffc);
   ]

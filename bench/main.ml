@@ -16,6 +16,7 @@ let () =
   let budget = ref Common.default_ctx.Common.budget in
   let domains = ref (Domain.recommended_domain_count ()) in
   let quick = ref false and full = ref false and skip_micro = ref false in
+  let no_presolve = ref false in
   let args =
     [
       ("--list", Arg.Set list, " list experiment ids");
@@ -26,6 +27,7 @@ let () =
       ("--quick", Arg.Set quick, " trimmed grids");
       ("--full", Arg.Set full, " larger topologies and budgets");
       ("--skip-micro", Arg.Set skip_micro, " skip the Bechamel micro-benchmarks");
+      ("--no-presolve", Arg.Set no_presolve, " disable the MILP presolve reductions");
     ]
   in
   Arg.parse (Arg.align args) (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
@@ -43,6 +45,7 @@ let () =
         full = !full;
         quick = !quick;
         domains = max 1 !domains;
+        presolve = not !no_presolve;
       }
     in
     let selected = function

@@ -167,6 +167,13 @@ let domains_arg =
         ~doc:
           "OCaml domains used for scenario-evaluation sweeps (default: all cores;               $(b,1) forces the sequential path — results are identical either way).")
 
+let no_presolve_arg =
+  Arg.(
+    value & flag
+    & info [ "no-presolve" ]
+        ~doc:
+          "Disable the MILP presolve reductions (bound propagation, big-M               tightening, probing) and hand the raw encoding to branch-and-bound.")
+
 let clusters_arg =
   Arg.(value & opt int 1 & info [ "clusters" ] ~doc:"Clusters for Algorithm 1 (1 = off).")
 
@@ -215,7 +222,7 @@ type setup = {
 }
 
 let make_setup topo pairs num_pairs primary backup threshold max_failures ce slack
-    volume timeout domains encoding objective demand_file =
+    volume timeout domains no_presolve encoding objective demand_file =
   let base =
     match demand_file with
     | Some path -> Traffic.Demand_io.load path
@@ -243,7 +250,12 @@ let make_setup topo pairs num_pairs primary backup threshold max_failures ce sla
     }
   in
   let options =
-    { (Raha.Analysis.with_timeout timeout) with spec; domains = max 1 domains }
+    {
+      (Raha.Analysis.with_timeout timeout) with
+      spec;
+      domains = max 1 domains;
+      presolve = not no_presolve;
+    }
   in
   { topo; paths; envelope; options }
 
@@ -251,7 +263,8 @@ let setup_term =
   Term.(
     const make_setup $ topology_arg $ pairs_arg $ num_pairs_arg $ primary_arg
     $ backup_arg $ threshold_arg $ max_failures_arg $ ce_arg $ slack_arg $ volume_arg
-    $ timeout_arg $ domains_arg $ encoding_arg $ objective_arg $ demand_file_arg)
+    $ timeout_arg $ domains_arg $ no_presolve_arg $ encoding_arg $ objective_arg
+    $ demand_file_arg)
 
 (* --- subcommands ------------------------------------------------------- *)
 

@@ -29,6 +29,11 @@ let default =
 
 type outcome = Optimal | Feasible | No_incumbent | Infeasible | Unbounded
 
+(* Node counter. Domain-local like the simplex pivot counter, so a
+   Parallel.Pool can aggregate per-domain deltas without races. *)
+let nodes_key = Domain.DLS.new_key (fun () -> ref 0)
+let cumulative_nodes () = !(Domain.DLS.get nodes_key)
+
 type stats = { nodes : int; simplex_iters : int; elapsed : float }
 
 type t = {
@@ -106,6 +111,7 @@ let solve ?(options = default) model =
   let nv = Model.num_vars model in
   let lb0, ub0 = Model.bounds model in
   let nodes = ref 0 and simplex0 = Simplex.last_iterations () in
+  let total_nodes = Domain.DLS.get nodes_key in
   let incumbent = ref None in
   let incumbent_obj = ref neg_infinity in
   let consider_incumbent values obj =
@@ -237,6 +243,7 @@ let solve ?(options = default) model =
       else if !nodes >= options.max_nodes || time_up () then status := `Limit
       else begin
         incr nodes;
+        incr total_nodes;
         match Simplex.solve ~lb:node.nlb ~ub:node.nub model with
         | Simplex.Infeasible -> ()
         | Simplex.Iter_limit ->

@@ -26,6 +26,11 @@ type options = {
 
 val default : options
 
+(** Domain-local cumulative node count across all solves on the calling
+    domain, in the shape {!Parallel.Pool} counter hooks expect (see
+    {!Simplex.cumulative_iterations}). *)
+val cumulative_nodes : unit -> int
+
 type outcome =
   | Optimal  (** incumbent proven optimal within the gap *)
   | Feasible  (** limits hit with an incumbent in hand *)

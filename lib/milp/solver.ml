@@ -6,17 +6,22 @@ type options = {
   branch_priority : int -> int;
   warm_start : float array option;
   plunge_hints : (int * float) list list;
+  presolve : bool;
 }
 
+(* The values shared with branch-and-bound are derived from
+   Branch_bound.default rather than hand-copied. *)
 let default_options =
+  let d = Branch_bound.default in
   {
-    time_limit = Float.infinity;
-    max_nodes = 200_000;
-    rel_gap = 1e-6;
-    log = false;
-    branch_priority = (fun _ -> 0);
-    warm_start = None;
-    plunge_hints = [];
+    time_limit = d.Branch_bound.time_limit;
+    max_nodes = d.Branch_bound.max_nodes;
+    rel_gap = d.Branch_bound.rel_gap;
+    log = d.Branch_bound.log;
+    branch_priority = d.Branch_bound.branch_priority;
+    warm_start = d.Branch_bound.warm_start;
+    plunge_hints = d.Branch_bound.plunge_hints;
+    presolve = true;
   }
 
 let with_time_limit t = { default_options with time_limit = t }
@@ -32,22 +37,18 @@ type solution = {
   elapsed : float;
 }
 
-let solve ?(options = default_options) model =
-  let t0 = Unix.gettimeofday () in
+(* Solve a model as-is (no presolve), with [t0] as the wall-clock origin
+   so elapsed times include any reduction work done by the caller. *)
+let solve_direct ~options ~t0 model =
+  let finish status obj bound values nodes =
+    { status; obj; bound; values; nodes; elapsed = Unix.gettimeofday () -. t0 }
+  in
   if Model.num_int_vars model = 0 then
     match Simplex.solve model with
-    | Simplex.Optimal { obj; values } ->
-      { status = Optimal; obj; bound = obj; values; nodes = 0;
-        elapsed = Unix.gettimeofday () -. t0 }
-    | Simplex.Infeasible ->
-      { status = Infeasible; obj = nan; bound = nan; values = [||]; nodes = 0;
-        elapsed = Unix.gettimeofday () -. t0 }
-    | Simplex.Unbounded ->
-      { status = Unbounded; obj = infinity; bound = infinity; values = [||]; nodes = 0;
-        elapsed = Unix.gettimeofday () -. t0 }
-    | Simplex.Iter_limit ->
-      { status = Unknown; obj = nan; bound = nan; values = [||]; nodes = 0;
-        elapsed = Unix.gettimeofday () -. t0 }
+    | Simplex.Optimal { obj; values } -> finish Optimal obj obj values 0
+    | Simplex.Infeasible -> finish Infeasible nan nan [||] 0
+    | Simplex.Unbounded -> finish Unbounded infinity infinity [||] 0
+    | Simplex.Iter_limit -> finish Unknown nan nan [||] 0
   else begin
     let bb_options =
       {
@@ -70,15 +71,39 @@ let solve ?(options = default_options) model =
       | Branch_bound.Infeasible -> Infeasible
       | Branch_bound.Unbounded -> Unbounded
     in
-    {
-      status;
-      obj = r.Branch_bound.obj;
-      bound = r.Branch_bound.bound;
-      values = r.Branch_bound.values;
-      nodes = r.Branch_bound.stats.Branch_bound.nodes;
-      elapsed = r.Branch_bound.stats.Branch_bound.elapsed;
-    }
+    finish status r.Branch_bound.obj r.Branch_bound.bound r.Branch_bound.values
+      r.Branch_bound.stats.Branch_bound.nodes
   end
+
+let solve ?(options = default_options) model =
+  let t0 = Unix.gettimeofday () in
+  if not options.presolve then solve_direct ~options ~t0 model
+  else
+    match Presolve.presolve model with
+    | Presolve.Infeasible _ ->
+      { status = Infeasible; obj = nan; bound = nan; values = [||]; nodes = 0;
+        elapsed = Unix.gettimeofday () -. t0 }
+    | Presolve.Reduced { model = rm; post; stats = _ } ->
+      (* Caller-supplied vectors and priorities speak original ids;
+         translate them into the reduced space before solving, and lift
+         the solution point back afterwards. Objective and bound carry
+         over unchanged: the fixed contribution lives in the reduced
+         objective's constant term. *)
+      let options =
+        {
+          options with
+          branch_priority =
+            (fun rid -> options.branch_priority (Postsolve.orig_of_reduced post rid));
+          warm_start = Option.bind options.warm_start (Postsolve.reduce_point post);
+          plunge_hints =
+            List.filter_map
+              (fun h ->
+                match Postsolve.reduce_hint post h with [] -> None | h' -> Some h')
+              options.plunge_hints;
+        }
+      in
+      let sol = solve_direct ~options ~t0 rm in
+      { sol with values = Postsolve.restore post sol.values }
 
 let value sol (v : Model.var) =
   if Array.length sol.values = 0 then nan else sol.values.(v.vid)
@@ -87,7 +112,14 @@ let bool_value sol v = value sol v > 0.5
 
 let has_point sol = match sol.status with Optimal | Feasible -> true | _ -> false
 
-let stats_counters = [ ("simplex", Simplex.cumulative_iterations) ]
+let stats_counters =
+  [
+    ("simplex", Simplex.cumulative_iterations);
+    ("bb-nodes", Branch_bound.cumulative_nodes);
+    ("presolve-rows", Presolve.cumulative_rows_removed);
+    ("presolve-cols", Presolve.cumulative_cols_fixed);
+    ("presolve-bigm", Presolve.cumulative_big_ms_tightened);
+  ]
 
 let pp_status ppf = function
   | Optimal -> Format.pp_print_string ppf "optimal"

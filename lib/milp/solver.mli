@@ -14,8 +14,14 @@ type options = {
   plunge_hints : (int * float) list list;
       (** partial assignments plunged for initial incumbents; see
           {!Branch_bound.options} *)
+  presolve : bool;
+      (** run {!Presolve} before solving (default [true]); solutions are
+          postsolved back to the original indexing, so this is externally
+          invisible apart from speed *)
 }
 
+(** Defaults shared with branch-and-bound are derived from
+    {!Branch_bound.default}; [presolve] defaults to [true]. *)
 val default_options : options
 
 val with_time_limit : float -> options
@@ -47,9 +53,11 @@ val bool_value : solution -> Model.var -> bool
 (** True when the solution carries a usable point (Optimal or Feasible). *)
 val has_point : solution -> bool
 
-(** Domain-local cumulative counter hooks (currently the simplex pivot
-    count), in the shape [Parallel.Pool.create ~counters] expects — pass
-    this to a pool to have solver work aggregated into its stats. *)
+(** Domain-local cumulative counter hooks — simplex pivots ([simplex]),
+    branch-and-bound nodes ([bb-nodes]) and presolve reductions
+    ([presolve-rows]/[presolve-cols]/[presolve-bigm]) — in the shape
+    [Parallel.Pool.create ~counters] expects; pass this to a pool to have
+    solver work aggregated into its one-line stats summaries. *)
 val stats_counters : (string * (unit -> int)) list
 
 val pp_status : Format.formatter -> status -> unit

@@ -6,6 +6,7 @@ type options = {
   log : bool;
   seed_enumeration : int option;
   domains : int;
+  presolve : bool;
 }
 
 let default_options =
@@ -17,6 +18,7 @@ let default_options =
     log = false;
     seed_enumeration = None;
     domains = 1;
+    presolve = true;
   }
 
 let with_timeout t = { default_options with time_limit = t }
@@ -140,6 +142,7 @@ let analyze ?(options = default_options) topo paths envelope =
       log = options.log;
       branch_priority = built.Bilevel.branch_priority;
       plunge_hints = hints;
+      presolve = options.presolve;
     }
   in
   let sol = Milp.Solver.solve ~options:solver_options built.Bilevel.model in

@@ -23,6 +23,10 @@ type options = {
           candidate scoring here, enumeration in {!Baselines}). [1]
           (the default) is the exact sequential path; results are
           identical for any value. *)
+  presolve : bool;
+      (** run the {!Milp.Presolve} reductions (big-M tightening, probing
+          on the failure binaries, …) before branch-and-bound; default
+          [true]. Disable with the CLI/bench [--no-presolve] flags. *)
 }
 
 val default_options : options

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "raha"
     [
       ("milp", Test_milp.suite);
+      ("presolve", Test_presolve.suite);
       ("wan", Test_wan.suite);
       ("netpath", Test_netpath.suite);
       ("failure", Test_failure.suite);

@@ -426,6 +426,85 @@ let test_lp_file () =
       Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true (contains s needle))
     [ "Maximize"; "Subject To"; "Bounds"; "Binaries"; "Generals"; "End"; ">= 0"; "= 2" ]
 
+let test_lp_roundtrip_basic () =
+  (* every construct the writer emits: mixed kinds, all three relations,
+     a free variable, infinite bounds and an objective constant *)
+  let m = Model.create ~name:"rt" () in
+  let x = Model.continuous ~ub:5. m "flow" in
+  let y = Model.binary m "fail" in
+  let z = Model.integer ~ub:3. m "links" in
+  let w = Model.continuous ~lb:Float.neg_infinity ~ub:Float.infinity m "slack" in
+  Model.add_cons m (Linexpr.of_terms [ (1., x.vid); (-2., y.vid) ]) Model.Ge 0.;
+  Model.add_cons m (Linexpr.var z.vid) Model.Eq 2.;
+  Model.add_cons m (Linexpr.of_terms [ (1., w.vid); (1., x.vid) ]) Model.Ge (-4.);
+  Model.set_objective m Model.Maximize
+    (Linexpr.of_terms ~const:1.5 [ (1., x.vid); (3., z.vid); (-0.5, w.vid) ]);
+  let m' = Lp_file.of_string (Lp_file.to_string m) in
+  Alcotest.(check int) "num_vars" (Model.num_vars m) (Model.num_vars m');
+  Alcotest.(check int) "num_cons" (Model.num_cons m) (Model.num_cons m');
+  Alcotest.(check int) "num_int_vars" (Model.num_int_vars m) (Model.num_int_vars m');
+  Array.iter2
+    (fun (v : Model.var) (v' : Model.var) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "kind of x%d" v.Model.vid)
+        true
+        (v.Model.kind = v'.Model.kind);
+      Alcotest.(check bool)
+        (Printf.sprintf "bounds of x%d" v.Model.vid)
+        true
+        (v.Model.lb = v'.Model.lb && v.Model.ub = v'.Model.ub))
+    (Model.vars m) (Model.vars m');
+  let sol = lp_opt m and sol' = lp_opt m' in
+  check_float "same optimum after round-trip" sol.Solver.obj sol'.Solver.obj
+
+let prop_lp_roundtrip =
+  (* exported then re-parsed models must agree with the original on
+     status and optimum *)
+  QCheck2.Test.make ~name:"lp_file: to_string/of_string round-trip" ~count:60
+    QCheck2.Gen.(
+      let* nv = int_range 1 5 in
+      let* nc = int_range 1 5 in
+      let* kinds = list_size (return nv) (int_range 0 2) in
+      let* coeffs = list_size (return (nc * nv)) (float_range (-4.) 4.) in
+      let* rels = list_size (return nc) (int_range 0 2) in
+      let* rhs = list_size (return nc) (float_range 0.5 20.) in
+      let* obj = list_size (return nv) (float_range (-3.) 3.) in
+      let* oconst = float_range (-5.) 5. in
+      return (nv, nc, kinds, coeffs, rels, rhs, obj, oconst))
+    (fun (nv, _nc, kinds, coeffs, rels, rhs, obj, oconst) ->
+      let m = Model.create ~name:"rt" () in
+      let kinds = Array.of_list kinds in
+      let xs =
+        Array.init nv (fun i ->
+            let kind =
+              match kinds.(i) with
+              | 0 -> Model.Continuous
+              | 1 -> Model.Binary
+              | _ -> Model.Integer
+            in
+            Model.add_var m ~name:(Printf.sprintf "v%d" i) ~kind ~lb:0. ~ub:6.)
+      in
+      let coeffs = Array.of_list coeffs and rhs = Array.of_list rhs in
+      List.iteri
+        (fun i r ->
+          let rel = match r with 0 -> Model.Le | 1 -> Model.Ge | _ -> Model.Eq in
+          let terms =
+            List.init nv (fun j -> (coeffs.((i * nv) + j), xs.(j).Model.vid))
+          in
+          Model.add_cons m (Linexpr.of_terms terms) rel rhs.(i))
+        rels;
+      Model.set_objective m Model.Maximize
+        (Linexpr.of_terms ~const:oconst
+           (List.mapi (fun j c -> (c, xs.(j).Model.vid)) obj));
+      let m' = Lp_file.of_string (Lp_file.to_string m) in
+      let sol = Solver.solve m and sol' = Solver.solve m' in
+      Model.num_vars m' = Model.num_vars m
+      && Model.num_cons m' = Model.num_cons m
+      && Model.num_int_vars m' = Model.num_int_vars m
+      && sol.Solver.status = sol'.Solver.status
+      && (sol.Solver.status <> Solver.Optimal
+         || feq ~eps:1e-5 sol.Solver.obj sol'.Solver.obj))
+
 (* --- simplex extras -------------------------------------------------------- *)
 
 let test_lp_ge_heavy () =
@@ -537,6 +616,7 @@ let qcheck_tests =
       prop_milp_bounded_by_lp;
       prop_milp_point_feasible;
       prop_row_scaling_invariant;
+      prop_lp_roundtrip;
     ]
 
 let suite =
@@ -563,6 +643,7 @@ let suite =
     ("linexpr algebra", `Quick, test_linexpr_algebra);
     ("model check_feasible", `Quick, test_check_feasible);
     ("lp file export", `Quick, test_lp_file);
+    ("lp file round-trip", `Quick, test_lp_roundtrip_basic);
     ("lp ge-heavy", `Quick, test_lp_ge_heavy);
     ("lp redundant rows", `Quick, test_lp_redundant_rows);
     ("lp equality system", `Quick, test_lp_equality_system);
