@@ -11,10 +11,12 @@ type ctx = {
   quick : bool;  (** trimmed grids for smoke runs *)
   domains : int;  (** OCaml domains for the scenario-sweep experiments *)
   presolve : bool;  (** MILP presolve for every solve ([--no-presolve]) *)
+  dense_simplex : bool;  (** legacy dense LP engine ([--dense-simplex]) *)
 }
 
 let default_ctx =
-  { budget = 10.; full = false; quick = false; domains = 1; presolve = true }
+  { budget = 10.; full = false; quick = false; domains = 1; presolve = true;
+    dense_simplex = false }
 
 let printf = Format.printf
 
@@ -60,7 +62,8 @@ let spec ?(objective = Te.Formulation.Total_flow) ?threshold ?max_failures ?(ce 
   }
 
 let options ctx spec =
-  { (Raha.Analysis.with_timeout ctx.budget) with spec; presolve = ctx.presolve }
+  { (Raha.Analysis.with_timeout ctx.budget) with spec; presolve = ctx.presolve;
+    dense_simplex = ctx.dense_simplex }
 
 let analyze ctx sp topo paths envelope =
   Raha.Analysis.analyze ~options:(options ctx sp) topo paths envelope

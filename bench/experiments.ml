@@ -652,6 +652,76 @@ let presolve_bench ctx =
         [ true; false ])
     cells
 
+(* -------------------------------------------------------------- revised *)
+
+(* Revised-simplex ablation: the same cells as the presolve experiment,
+   solved end-to-end with the legacy dense tableau vs the revised engine
+   (sparse LU basis + dual-simplex warm starts across B&B nodes). The
+   [counters:] lines carry only deterministic quantities (no wall
+   clock), so CI can run the experiment twice and diff them. The
+   measured rows are recorded in BENCH_revised.json. *)
+let revised_bench ctx =
+  section ctx ~id:"revised"
+    ~paper:"revised simplex / dual warm-start ablation (DESIGN.md §9)"
+    ~config:"fig1 worked example (sd:5, kkt) + africa-like WAN (8 nodes, sd:3)";
+  let cells =
+    let f1 = Wan.Generators.fig1 () in
+    let f1_paths = paths_of ~primary:2 ~backup:0 f1 [ (1, 3); (2, 3) ] in
+    let f1_env =
+      Traffic.Envelope.around ~slack:0.5
+        (Traffic.Demand.of_list [ ((1, 3), 12.); ((2, 3), 10.) ])
+    in
+    let sp5 = spec ~max_failures:1 ~levels:5 () in
+    let topo, pairs = wan_small () in
+    let paths = paths_of topo pairs in
+    let env = Traffic.Envelope.from_zero ~slack:0.3 (base_demand pairs) in
+    let base =
+      [
+        ("fig1 / sd:5", sp5, f1, f1_paths, f1_env);
+        ("fig1 / kkt", { sp5 with Raha.Bilevel.encoding = Raha.Bilevel.Kkt }, f1,
+         f1_paths, f1_env);
+      ]
+    in
+    if ctx.quick then base
+    else base @ [ ("wan8 / sd:3", spec ~threshold:1e-5 (), topo, paths, env) ]
+  in
+  row "%-14s %-8s %-12s %-8s %-7s %-8s %-6s %-5s %-5s %-9s@." "cell" "engine"
+    "degradation" "time(s)" "nodes" "pivots" "dual" "fact" "eta" "warm";
+  List.iter
+    (fun (name, sp, topo, paths, env) ->
+      List.iter
+        (fun dense ->
+          let opts =
+            { (options ctx sp) with Raha.Analysis.dense_simplex = dense }
+          in
+          let p0 = Milp.Simplex.cumulative_iterations ()
+          and d0 = Milp.Simplex.cumulative_dual_pivots ()
+          and f0 = Milp.Simplex.cumulative_factorizations ()
+          and e0 = Milp.Simplex.cumulative_eta_updates ()
+          and wa0 = Milp.Simplex.cumulative_warm_attempts ()
+          and wh0 = Milp.Simplex.cumulative_warm_hits () in
+          let t0 = Unix.gettimeofday () in
+          let r = Raha.Analysis.analyze ~options:opts topo paths env in
+          let dt = Unix.gettimeofday () -. t0 in
+          let pivots = Milp.Simplex.cumulative_iterations () - p0
+          and duals = Milp.Simplex.cumulative_dual_pivots () - d0
+          and facts = Milp.Simplex.cumulative_factorizations () - f0
+          and etas = Milp.Simplex.cumulative_eta_updates () - e0
+          and wa = Milp.Simplex.cumulative_warm_attempts () - wa0
+          and wh = Milp.Simplex.cumulative_warm_hits () - wh0 in
+          let engine = if dense then "dense" else "revised" in
+          row "%-14s %-8s %-12s %-8.2f %-7d %-8d %-6d %-5d %-5d %-9s@." name
+            engine (deg_str r) dt r.Raha.Analysis.nodes pivots duals facts etas
+            (if wa = 0 then "-" else Printf.sprintf "%d/%d" wh wa);
+          row
+            "counters: %s | %s | deg=%s nodes=%d pivots=%d dual=%d fact=%d        eta=%d warm=%d/%d@."
+            name engine (deg_str r) r.Raha.Analysis.nodes pivots duals facts
+            etas wh wa)
+        [ true; false ])
+    cells;
+  row
+    "(warm column is dual-simplex hits/attempts; identical node counts with      fewer pivots show the per-node saving)@."
+
 (* ---------------------------------------------------------- monte carlo *)
 
 let montecarlo ctx =
@@ -753,6 +823,7 @@ let all : (string * string * (ctx -> unit)) list =
     ("mlu", "worst-case MLU degradation vs slack (§8.5)", mlu);
     ("ablation", "strong-duality vs KKT encoding (design choice)", ablation);
     ("presolve", "MILP presolve / big-M tightening on vs off", presolve_bench);
+    ("revised", "revised simplex + dual warm starts vs dense tableau", revised_bench);
     ("montecarlo", "Monte Carlo sampling vs Raha's worst case (§1)", montecarlo);
     ("ffc", "FFC-protected network still degrades beyond k (§2.2)", ffc);
   ]

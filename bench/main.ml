@@ -16,7 +16,7 @@ let () =
   let budget = ref Common.default_ctx.Common.budget in
   let domains = ref (Domain.recommended_domain_count ()) in
   let quick = ref false and full = ref false and skip_micro = ref false in
-  let no_presolve = ref false in
+  let no_presolve = ref false and dense_simplex = ref false in
   let args =
     [
       ("--list", Arg.Set list, " list experiment ids");
@@ -28,6 +28,8 @@ let () =
       ("--full", Arg.Set full, " larger topologies and budgets");
       ("--skip-micro", Arg.Set skip_micro, " skip the Bechamel micro-benchmarks");
       ("--no-presolve", Arg.Set no_presolve, " disable the MILP presolve reductions");
+      ("--dense-simplex", Arg.Set dense_simplex,
+       " use the legacy dense-tableau LP engine (no warm starts)");
     ]
   in
   Arg.parse (Arg.align args) (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
@@ -46,6 +48,7 @@ let () =
         quick = !quick;
         domains = max 1 !domains;
         presolve = not !no_presolve;
+        dense_simplex = !dense_simplex;
       }
     in
     let selected = function

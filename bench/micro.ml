@@ -49,16 +49,41 @@ let fig1_setup () =
   let d = Traffic.Demand.of_list [ ((1, 3), 12.); ((2, 3), 10.) ] in
   (topo, paths, d)
 
+(* Kernels of the revised engine, on the 40x60 LP's standard form: LU
+   factorization of a mixed structural/slack basis, and FTRAN/BTRAN
+   through the factors. The basis alternates structural and slack
+   columns so the LU is non-trivial (the all-slack basis would
+   factorize to the identity). *)
+let basis_setup () =
+  let sp = Milp.Sparse.of_model (lp_instance ()) in
+  let m = sp.Milp.Sparse.m and nv = sp.Milp.Sparse.nv in
+  let bcols =
+    Array.init m (fun r -> if r mod 2 = 0 && r / 2 < nv then r / 2 else nv + r)
+  in
+  let rhs = Array.init m (fun r -> Float.of_int ((r mod 7) - 3)) in
+  (sp, bcols, rhs)
+
 let tests () =
   let lp = lp_instance () in
   let milp = milp_instance () in
   let topo, paths, d = fig1_setup () in
   let sp = { Raha.Bilevel.default_spec with Raha.Bilevel.max_failures = Some 1 } in
   let grid = Wan.Generators.grid 4 4 in
+  let bsp, bcols, rhs = basis_setup () in
+  let basis = Milp.Basis.create bsp bcols in
   Test.make_grouped ~name:"raha" ~fmt:"%s %s"
     [
-      Test.make ~name:"simplex: 40x60 LP"
+      Test.make ~name:"simplex: 40x60 LP (revised)"
         (Staged.stage (fun () -> ignore (Milp.Simplex.solve lp)));
+      Test.make ~name:"simplex: 40x60 LP (dense)"
+        (Staged.stage (fun () ->
+             ignore (Milp.Simplex.solve ~engine:Milp.Simplex.Dense lp)));
+      Test.make ~name:"basis: factorize 60-row LU"
+        (Staged.stage (fun () -> ignore (Milp.Basis.create bsp bcols)));
+      Test.make ~name:"basis: ftran"
+        (Staged.stage (fun () -> ignore (Milp.Basis.ftran basis rhs)));
+      Test.make ~name:"basis: btran"
+        (Staged.stage (fun () -> ignore (Milp.Basis.btran basis rhs)));
       Test.make ~name:"b&b: 16-item knapsack"
         (Staged.stage (fun () -> ignore (Milp.Solver.solve milp)));
       Test.make ~name:"bilevel build (fig1)"

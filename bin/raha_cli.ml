@@ -174,6 +174,13 @@ let no_presolve_arg =
         ~doc:
           "Disable the MILP presolve reductions (bound propagation, big-M               tightening, probing) and hand the raw encoding to branch-and-bound.")
 
+let dense_simplex_arg =
+  Arg.(
+    value & flag
+    & info [ "dense-simplex" ]
+        ~doc:
+          "Solve LP relaxations with the legacy dense-tableau simplex instead of               the revised engine (sparse LU basis, dual-simplex warm starts).               Slower; kept for differential debugging.")
+
 let clusters_arg =
   Arg.(value & opt int 1 & info [ "clusters" ] ~doc:"Clusters for Algorithm 1 (1 = off).")
 
@@ -222,7 +229,8 @@ type setup = {
 }
 
 let make_setup topo pairs num_pairs primary backup threshold max_failures ce slack
-    volume timeout domains no_presolve encoding objective demand_file =
+    volume timeout domains no_presolve dense_simplex encoding objective
+    demand_file =
   let base =
     match demand_file with
     | Some path -> Traffic.Demand_io.load path
@@ -255,6 +263,7 @@ let make_setup topo pairs num_pairs primary backup threshold max_failures ce sla
       spec;
       domains = max 1 domains;
       presolve = not no_presolve;
+      dense_simplex;
     }
   in
   { topo; paths; envelope; options }
@@ -263,8 +272,8 @@ let setup_term =
   Term.(
     const make_setup $ topology_arg $ pairs_arg $ num_pairs_arg $ primary_arg
     $ backup_arg $ threshold_arg $ max_failures_arg $ ce_arg $ slack_arg $ volume_arg
-    $ timeout_arg $ domains_arg $ no_presolve_arg $ encoding_arg $ objective_arg
-    $ demand_file_arg)
+    $ timeout_arg $ domains_arg $ no_presolve_arg $ dense_simplex_arg
+    $ encoding_arg $ objective_arg $ demand_file_arg)
 
 (* --- subcommands ------------------------------------------------------- *)
 

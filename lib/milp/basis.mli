@@ -1,0 +1,41 @@
+(** LU-factorized simplex basis with product-form (eta) updates.
+
+    A basis is an ordered selection of [m] columns of a {!Sparse}
+    matrix, one per row position. The factorization is a sparse LU with
+    Markowitz ordering and threshold pivoting; each basis exchange
+    appends an eta transformation instead of refactorizing, and the
+    factorization is rebuilt when the eta file grows past its cap or a
+    pivot falls below the stability threshold (with a residual check on
+    every rebuild). All counters are domain-local ({!Lp_stats}). *)
+
+type t
+
+(** [create a bcols] factorizes the basis formed by columns
+    [bcols.(0..m-1)] of [a] (the array is copied). Structurally or
+    numerically singular selections are repaired by replacing the
+    offending positions with their rows' slack columns — the repair is
+    visible through {!bcols}. *)
+val create : Sparse.t -> int array -> t
+
+(** Current basis column of every row position (fresh copy). *)
+val bcols : t -> int array
+
+(** [ftran t b] solves [B x = b]. [b] is dense, indexed by row; the
+    result is indexed by basis position. [b] is not modified. *)
+val ftran : t -> float array -> float array
+
+(** [btran t c] solves [B^T y = c]. [c] is dense, indexed by basis
+    position; the result is indexed by row. [c] is not modified. *)
+val btran : t -> float array -> float array
+
+(** [replace t ~r ~col ~w] installs [col] as the basic column of
+    position [r], where [w = ftran t (column col)] is the pivot column
+    in position space. Appends an eta update, or refactorizes when the
+    eta file is full or [w.(r)] is unstable. Returns [true] when a
+    refactorization happened (callers should then recompute values
+    from scratch to shed accumulated drift). *)
+val replace : t -> r:int -> col:int -> w:float array -> bool
+
+(** Positive when [replace] refactorized due to instability at least
+    once for this basis (diagnostic). *)
+val refactor_count : t -> int

@@ -12,6 +12,7 @@ type options = {
   branch_priority : int -> int;
   warm_start : float array option;
   plunge_hints : (int * float) list list;
+  engine : Simplex.engine;
 }
 
 let default =
@@ -25,6 +26,7 @@ let default =
     branch_priority = (fun _ -> 0);
     warm_start = None;
     plunge_hints = [];
+    engine = Simplex.Revised;
   }
 
 type outcome = Optimal | Feasible | No_incumbent | Infeasible | Unbounded
@@ -44,7 +46,27 @@ type t = {
   stats : stats;
 }
 
-type node = { nlb : float array; nub : float array; depth : int; parent_bound : float }
+type node = {
+  nlb : float array;
+  nub : float array;
+  depth : int;
+  parent_bound : float;
+  pbasis : Simplex.basis option;
+      (* the parent's optimal basis — bound changes keep it dual
+         feasible, so the child LP warm-starts in the dual simplex *)
+}
+
+(* Heap ordering: prefer the better parent bound; bounds within a
+   relative tolerance of each other count as ties and fall through to
+   the depth tiebreak (diving). Exact float equality would make the
+   tiebreak vanish under harmless last-bit noise in the LP objective,
+   flattening the dive order. *)
+let better_key (k1, d1) (k2, d2) =
+  if k1 = k2 then d1 > d2
+  else begin
+    let tol = 1e-9 *. Float.max 1. (Float.min (Float.abs k1) (Float.abs k2)) in
+    if Float.abs (k1 -. k2) <= tol then d1 > d2 else k1 > k2
+  end
 
 (* Max-heap of nodes keyed on (parent bound, depth): explore the most
    promising bound first, diving deeper on ties. *)
@@ -52,10 +74,11 @@ module Heap = struct
   type elt = { key : float; depth : int; node : node }
   type h = { mutable a : elt array; mutable len : int }
 
-  let dummy_node = { nlb = [||]; nub = [||]; depth = 0; parent_bound = 0. }
+  let dummy_node =
+    { nlb = [||]; nub = [||]; depth = 0; parent_bound = 0.; pbasis = None }
   let dummy = { key = neg_infinity; depth = 0; node = dummy_node }
   let create () = { a = Array.make 64 dummy; len = 0 }
-  let better x y = x.key > y.key || (x.key = y.key && x.depth > y.depth)
+  let better x y = better_key (x.key, x.depth) (y.key, y.depth)
 
   let push h e =
     if h.len = Array.length h.a then begin
@@ -111,6 +134,10 @@ let solve ?(options = default) model =
   let nv = Model.num_vars model in
   let lb0, ub0 = Model.bounds model in
   let nodes = ref 0 and simplex0 = Simplex.last_iterations () in
+  let prep = Simplex.prepare model in
+  let lp ?warm ~lb ~ub () =
+    Simplex.solve_prepared ~engine:options.engine ?warm ~lb ~ub prep
+  in
   let total_nodes = Domain.DLS.get nodes_key in
   let incumbent = ref None in
   let incumbent_obj = ref neg_infinity in
@@ -130,13 +157,21 @@ let solve ?(options = default) model =
      fractional integer variable to its rounded value and re-solve the
      LP. One flip retry per variable on infeasibility. Produces integral
      incumbents early, which best-first search alone can fail to do. *)
-  let plunge nlb nub =
+  let plunge ?basis nlb nub =
     let lb = Array.copy nlb and ub = Array.copy nub in
     let budget = (2 * Array.length int_ids) + 20 in
+    (* each fixing step only tightens bounds, so the previous step's
+       optimal basis warm-starts the next LP *)
+    let warm = ref basis in
+    let lp_step () =
+      let r, fb = lp ?warm:!warm ~lb ~ub () in
+      (match fb with Some _ -> warm := fb | None -> ());
+      r
+    in
     let rec go iters =
       if iters > budget then None
       else
-        match Simplex.solve ~lb ~ub model with
+        match lp_step () with
         | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iter_limit -> None
         | Simplex.Optimal { obj; values } ->
           let bound = osign *. obj in
@@ -160,7 +195,7 @@ let solve ?(options = default) model =
               let saved_lb = lb.(id) and saved_ub = ub.(id) in
               lb.(id) <- r;
               ub.(id) <- r;
-              match Simplex.solve ~lb ~ub model with
+              match lp_step () with
               | Simplex.Optimal _ -> go (iters + 1)
               | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iter_limit ->
                 (* flip once *)
@@ -176,8 +211,8 @@ let solve ?(options = default) model =
     in
     go 0
   in
-  let try_plunge nlb nub =
-    match plunge nlb nub with
+  let try_plunge ?basis nlb nub =
+    match plunge ?basis nlb nub with
     | Some (values, obj) ->
       (match Model.check_feasible ~tol:(10. *. options.int_tol) model values with
       | None -> consider_incumbent values obj
@@ -224,7 +259,9 @@ let solve ?(options = default) model =
       end)
     options.plunge_hints;
   let heap = Heap.create () in
-  let root = { nlb = lb0; nub = ub0; depth = 0; parent_bound = infinity } in
+  let root =
+    { nlb = lb0; nub = ub0; depth = 0; parent_bound = infinity; pbasis = None }
+  in
   Heap.push heap { key = infinity; depth = 0; node = root };
   let status = ref `Running in
   let time_up () = Unix.gettimeofday () -. t0 > options.time_limit in
@@ -244,17 +281,17 @@ let solve ?(options = default) model =
       else begin
         incr nodes;
         incr total_nodes;
-        match Simplex.solve ~lb:node.nlb ~ub:node.nub model with
-        | Simplex.Infeasible -> ()
-        | Simplex.Iter_limit ->
+        match lp ?warm:node.pbasis ~lb:node.nlb ~ub:node.nub () with
+        | Simplex.Infeasible, _ -> ()
+        | Simplex.Iter_limit, _ ->
           (* Treat as unresolved: keep the parent bound, re-queueing would
              loop, so we conservatively drop the node but widen the gap
              via the parent key. This is rare with the default budget. *)
           if options.log then Log.warn (fun f -> f "simplex iteration limit at node %d" !nodes)
-        | Simplex.Unbounded ->
+        | Simplex.Unbounded, _ ->
           if node.depth = 0 && !incumbent = None then status := `Unbounded_root
           else ()
-        | Simplex.Optimal { obj; values } ->
+        | Simplex.Optimal { obj; values }, fbasis ->
           let bound = osign *. obj in
           if bound <= !incumbent_obj +. options.abs_gap then () (* pruned *)
           else begin
@@ -271,7 +308,14 @@ let solve ?(options = default) model =
                     {
                       key = bound;
                       depth = node.depth + 1;
-                      node = { nlb; nub; depth = node.depth + 1; parent_bound = bound };
+                      node =
+                        {
+                          nlb;
+                          nub;
+                          depth = node.depth + 1;
+                          parent_bound = bound;
+                          pbasis = fbasis;
+                        };
                     }
               in
               (* dive toward the rounded value first (heap tiebreak on depth) *)
@@ -286,7 +330,7 @@ let solve ?(options = default) model =
                 !nodes = 1
                 || (!incumbent = None && !nodes mod 40 = 0)
                 || !nodes mod 400 = 0
-              then try_plunge node.nlb node.nub;
+              then try_plunge ?basis:fbasis node.nlb node.nub;
               if bound > !incumbent_obj +. options.abs_gap then branch_on id
           end
       end

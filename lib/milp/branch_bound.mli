@@ -22,9 +22,19 @@ type options = {
       (** Partial assignments [(var id, value)]: each is fixed into the
           root bounds and plunged for an initial incumbent. Raha seeds
           these with concrete candidate failure scenarios. *)
+  engine : Simplex.engine;
+      (** LP kernel for node relaxations; default {!Simplex.Revised}.
+          Under the revised engine every child node warm-starts from its
+          parent's optimal basis via the dual simplex. *)
 }
 
 val default : options
+
+(** Node-heap ordering on [(parent bound, depth)]: true when the first
+    node should be explored before the second. Bounds within a relative
+    tolerance count as ties and fall through to the deeper-first
+    tiebreak (exposed for unit tests). *)
+val better_key : float * int -> float * int -> bool
 
 (** Domain-local cumulative node count across all solves on the calling
     domain, in the shape {!Parallel.Pool} counter hooks expect (see

@@ -1,0 +1,20 @@
+(* Domain-local counters shared by the LP engines.
+
+   Every counter follows the Parallel.Pool hook contract (see
+   Simplex.cumulative_iterations): a per-domain cumulative int that the
+   pool samples around each chunk, so concurrent solves never race.
+   Both the revised engine and the legacy dense tableau bump [pivots];
+   the factorization/eta/dual/warm counters are revised-engine only. *)
+
+let key () = Domain.DLS.new_key (fun () -> ref 0)
+
+let pivots = key ()
+let dual_pivots = key ()
+let factorizations = key ()
+let eta_updates = key ()
+let warm_attempts = key ()
+let warm_hits = key ()
+
+let incr k = incr (Domain.DLS.get k)
+let add k n = Domain.DLS.get k := !(Domain.DLS.get k) + n
+let read k () = !(Domain.DLS.get k)

@@ -38,6 +38,14 @@ let restore t reduced =
     out
   end
 
+let restore_statuses t ~fill reduced =
+  if Array.length reduced < Array.length t.kept then reduced
+  else begin
+    let out = Array.make t.orig_nv fill in
+    Array.iteri (fun rid j -> out.(j) <- reduced.(rid)) t.kept;
+    out
+  end
+
 let reduce_point t orig =
   if Array.length orig < t.orig_nv then None
   else Some (Array.map (fun j -> orig.(j)) t.kept)

@@ -35,6 +35,14 @@ val value_of_fixed : t -> int -> float option
     an infeasible solution) are returned unchanged. *)
 val restore : t -> float array -> float array
 
+(** [restore_statuses t ~fill reduced] lifts any reduced-indexed
+    per-variable annotation array (e.g. {!Simplex.vstat} basis statuses)
+    to the original indexing; fixed variables get [fill] (a fixed
+    variable sits at its — collapsed — bounds, so a bound status is the
+    natural fill). Arrays shorter than the reduced dimension are
+    returned unchanged, mirroring {!restore}. *)
+val restore_statuses : t -> fill:'a -> 'a array -> 'a array
+
 (** Project an original-space point into the reduced space by dropping
     the fixed coordinates; [None] when the array is too short. *)
 val reduce_point : t -> float array -> float array option

@@ -1,13 +1,19 @@
-(* Bounded-variable two-phase primal simplex on a dense tableau.
+(* Revised simplex with a sparse CSC matrix and an LU-factorized basis
+   (Basis / Sparse), plus a bounded-variable dual simplex for
+   warm-started re-solves. The legacy dense tableau (Dense_simplex)
+   stays reachable through [~engine:Dense] for differential testing.
 
-   Internal form: minimize c'x subject to A x = b with per-column bounds
-   [l_j, u_j]. Rows of the user model become equalities by adding slack
-   columns; artificial columns provide the initial basis for rows whose
-   slack cannot absorb the initial residual. Nonbasic columns rest at a
-   finite bound (or at 0 for free columns); the tableau stores B^-1 A and
-   two reduced-cost rows (phase-1 and phase-2 objectives) that are updated
-   on every pivot. Current values of all columns are tracked explicitly in
-   [value] so that nonzero nonbasic bounds need no RHS translation. *)
+   Internal form (Sparse.of_model): minimize c'x over A x = b with
+   per-column bounds; columns are the nv structurals followed by one
+   logical (slack) column per row, so the all-slack basis is always
+   available as a trivially factorizable cold start. A cold solve runs
+   a composite phase 1 (dynamic infeasibility costs on out-of-bound
+   basics, no artificial columns) and then the primal phase 2; a warm
+   solve re-installs the caller's basis and runs the dual simplex —
+   after a branch-and-bound bound change the parent's optimal basis
+   stays dual feasible, so children typically need a handful of dual
+   pivots. Any numerical trouble in the warm path falls back to the
+   cold primal within the same iteration budget. *)
 
 type result =
   | Optimal of { obj : float; values : float array }
@@ -15,353 +21,547 @@ type result =
   | Unbounded
   | Iter_limit
 
-type status = Basic | At_lower | At_upper | At_zero (* free, nonbasic at 0 *)
+type vstat = Basic | At_lower | At_upper | At_zero
 
-let eps_pivot = 1e-9
-let eps_cost = 1e-9
-let eps_feas = 1e-7
+type engine = Revised | Dense
 
-(* Pivot counter. Domain-local so concurrent solves on a worker pool
-   never race: each domain counts its own pivots and the pool aggregates
-   the per-domain deltas (Parallel.Pool counter hooks). *)
-let iterations_key = Domain.DLS.new_key (fun () -> ref 0)
-let cumulative_iterations () = !(Domain.DLS.get iterations_key)
-let last_iterations = cumulative_iterations
-
-type tab = {
-  m : int; (* rows *)
-  n : int; (* columns *)
-  a : float array; (* m*n dense, row-major: B^-1 A *)
-  c1 : float array; (* phase-1 reduced costs, length n *)
-  c2 : float array; (* phase-2 reduced costs, length n *)
-  lo : float array;
-  hi : float array;
-  value : float array; (* current value of every column *)
-  st : status array;
-  basis : int array; (* column basic in each row *)
+type basis = {
+  bn : int; (* internal columns (nv + rows) — guards cross-model reuse *)
+  bnv : int;
+  bstat : vstat array;
+  bbcols : int array;
 }
 
-let aij t i j = t.a.((i * t.n) + j)
+type prepared = { pmodel : Model.t; sp : Sparse.t }
 
-(* Eliminate column [jc] from all rows and both cost rows using pivot row
-   [r]. Afterwards column jc is the [r]-th unit vector. *)
-let pivot t r jc =
-  let n = t.n in
-  let prow = r * n in
-  let piv = t.a.(prow + jc) in
-  let inv = 1. /. piv in
-  for j = 0 to n - 1 do
-    t.a.(prow + j) <- t.a.(prow + j) *. inv
-  done;
-  t.a.(prow + jc) <- 1.;
-  for i = 0 to t.m - 1 do
-    if i <> r then begin
-      let f = t.a.((i * n) + jc) in
-      if Float.abs f > 1e-12 then begin
-        let row = i * n in
-        for j = 0 to n - 1 do
-          t.a.(row + j) <- t.a.(row + j) -. (f *. t.a.(prow + j))
-        done;
-        t.a.(row + jc) <- 0.
-      end
-    end
-  done;
-  let elim_cost c =
-    let f = c.(jc) in
-    if Float.abs f > 1e-12 then begin
-      for j = 0 to n - 1 do
-        c.(j) <- c.(j) -. (f *. t.a.(prow + j))
-      done;
-      c.(jc) <- 0.
-    end
-  in
-  elim_cost t.c1;
-  elim_cost t.c2
+let eps_cost = 1e-9
+let eps_pivot = 1e-9
+let eps_feas = 1e-7
+let eps_dual = 1e-6
+let eps_degen = 1e-10
 
-(* One simplex phase: minimize the cost row [c] until no eligible entering
-   column remains. [blocked j] columns may not enter. Returns [`Optimal],
-   [`Unbounded] or [`Iters]. *)
-let run_phase t c ~blocked ~max_iters =
-  let n = t.n and m = t.m in
-  let iterations = Domain.DLS.get iterations_key in
-  let stall = ref 0 and bland = ref false in
-  let rec loop iters =
-    if iters > max_iters then `Iters
-    else begin
-      (* Entering column: nonbasic with profitable reduced cost. *)
-      let best = ref (-1) and best_score = ref eps_cost and best_dir = ref 1. in
-      (try
-         for j = 0 to n - 1 do
-           if (not (blocked j)) && t.st.(j) <> Basic then begin
-             let d = c.(j) in
-             let dir =
-               match t.st.(j) with
-               | At_lower -> if d < -.eps_cost then 1. else 0.
-               | At_upper -> if d > eps_cost then -1. else 0.
-               | At_zero -> if d < -.eps_cost then 1. else if d > eps_cost then -1. else 0.
-               | Basic -> 0.
-             in
-             if dir <> 0. then
-               if !bland then begin
-                 best := j;
-                 best_dir := dir;
-                 raise Exit
-               end
-               else if Float.abs d > !best_score then begin
-                 best := j;
-                 best_score := Float.abs d;
-                 best_dir := dir
-               end
-           end
-         done
-       with Exit -> ());
-      if !best < 0 then `Optimal
-      else begin
-        incr iterations;
-        let jc = !best and dir = !best_dir in
-        (* Ratio test: how far can column jc move in direction [dir]? *)
-        let theta = ref (t.hi.(jc) -. t.lo.(jc)) in
-        (* own bound flip distance; infinite for free/one-sided columns *)
-        if Float.is_nan !theta then theta := Float.infinity;
-        let leave = ref (-1) and leave_to_upper = ref false in
-        for i = 0 to m - 1 do
-          let y = dir *. aij t i jc in
-          let b = t.basis.(i) in
-          if y > eps_pivot then begin
-            (* basic b decreases, limited by its lower bound *)
-            let cap = (t.value.(b) -. t.lo.(b)) /. y in
-            if cap < !theta -. 1e-12 || (cap < !theta +. 1e-12 && (!leave < 0 || b < t.basis.(!leave))) then begin
-              theta := Float.max 0. cap;
-              leave := i;
-              leave_to_upper := false
-            end
-          end
-          else if y < -.eps_pivot then begin
-            (* basic b increases, limited by its upper bound *)
-            let cap = (t.hi.(b) -. t.value.(b)) /. -.y in
-            if cap < !theta -. 1e-12 || (cap < !theta +. 1e-12 && (!leave < 0 || b < t.basis.(!leave))) then begin
-              theta := Float.max 0. cap;
-              leave := i;
-              leave_to_upper := true
-            end
-          end
-        done;
-        if Float.is_nan !theta || !theta = Float.infinity then
-          if !leave < 0 then `Unbounded else `Iters (* cannot happen *)
-        else begin
-          let step = dir *. !theta in
-          (* update basic values and the entering column's value *)
-          if !theta > 0. then begin
-            for i = 0 to m - 1 do
-              let b = t.basis.(i) in
-              t.value.(b) <- t.value.(b) -. (step *. aij t i jc)
-            done;
-            t.value.(jc) <- t.value.(jc) +. step;
-            stall := 0
-          end
-          else begin
-            incr stall;
-            if !stall > (2 * (m + n)) + 50 then bland := true
-          end;
-          if !leave < 0 then begin
-            (* bound flip: jc moves across its whole range, stays nonbasic *)
-            t.st.(jc) <- (if dir > 0. then At_upper else At_lower);
-            t.value.(jc) <- (if dir > 0. then t.hi.(jc) else t.lo.(jc));
-            loop (iters + 1)
-          end
-          else begin
-            let r = !leave in
-            let out = t.basis.(r) in
-            (* snap the leaving variable exactly onto the bound it hit *)
-            t.value.(out) <- (if !leave_to_upper then t.hi.(out) else t.lo.(out));
-            t.st.(out) <- (if !leave_to_upper then At_upper else At_lower);
-            if t.lo.(out) = Float.neg_infinity && not !leave_to_upper then t.st.(out) <- At_zero;
-            t.basis.(r) <- jc;
-            t.st.(jc) <- Basic;
-            pivot t r jc;
-            loop (iters + 1)
-          end
-        end
-      end
-    end
-  in
-  loop 0
+let cumulative_iterations = Lp_stats.read Lp_stats.pivots
+let last_iterations = cumulative_iterations
+let cumulative_dual_pivots = Lp_stats.read Lp_stats.dual_pivots
+let cumulative_factorizations = Lp_stats.read Lp_stats.factorizations
+let cumulative_eta_updates = Lp_stats.read Lp_stats.eta_updates
+let cumulative_warm_attempts = Lp_stats.read Lp_stats.warm_attempts
+let cumulative_warm_hits = Lp_stats.read Lp_stats.warm_hits
 
-let solve ?lb ?ub ?max_iters model =
-  let nv = Model.num_vars model in
-  let mlb, mub = Model.bounds model in
+let prepare model = { pmodel = model; sp = Sparse.of_model model }
+
+let var_statuses b = Array.sub b.bstat 0 b.bnv
+
+(* ------------------------------------------------------------------ *)
+(* Mutable solve state                                                 *)
+
+type st = {
+  sp : Sparse.t;
+  lo : float array; (* length n: structural overrides ++ slack bounds *)
+  hi : float array;
+  x : float array; (* current value of every column *)
+  stat : vstat array;
+  bcols : int array; (* basic column per row position, length m *)
+  mutable bas : Basis.t;
+  mutable bland : bool;
+  mutable degen : int; (* consecutive degenerate pivots *)
+  degen_limit : int;
+  mutable iters : int; (* remaining pivot budget *)
+}
+
+exception Box_infeasible
+
+let fresh_bounds (prep : prepared) ?lb ?ub () =
+  let sp = prep.sp in
+  let nv = sp.Sparse.nv and m = sp.Sparse.m and n = sp.Sparse.n in
+  let mlb, mub = Model.bounds prep.pmodel in
   let lb = match lb with Some a -> a | None -> mlb in
   let ub = match ub with Some a -> a | None -> mub in
-  let conss = Model.conss model in
-  let nc = Array.length conss in
-  let sense, obj = Model.objective model in
-  (* Column layout: structural vars [0, nv), then one slack per Le/Ge row,
-     then artificials as needed. *)
-  let n_slack =
-    Array.fold_left
-      (fun acc (c : Model.cons) -> match c.rel with Model.Le | Model.Ge -> acc + 1 | Model.Eq -> acc)
-      0 conss
-  in
-  let n = nv + n_slack + nc (* upper bound incl. artificials; trim later *) in
-  let lo = Array.make n 0. and hi = Array.make n Float.infinity in
+  let lo = Array.make n 0. and hi = Array.make n 0. in
   Array.blit lb 0 lo 0 nv;
   Array.blit ub 0 hi 0 nv;
-  for i = 0 to nv - 1 do
-    if lo.(i) > hi.(i) +. 1e-12 then raise Exit
+  for i = 0 to m - 1 do
+    lo.(nv + i) <- sp.Sparse.slack_lo.(i);
+    hi.(nv + i) <- sp.Sparse.slack_hi.(i)
   done;
-  (* initial nonbasic value for structural columns *)
-  let init_value j =
-    if Float.is_finite lo.(j) then lo.(j)
-    else if Float.is_finite hi.(j) then hi.(j)
-    else 0.
+  for j = 0 to nv - 1 do
+    if lo.(j) > hi.(j) +. 1e-12 then raise Box_infeasible
+  done;
+  (lo, hi)
+
+(* Recompute basic values from scratch: x_B = B^-1 (b - A_N x_N).
+   Called after every refactorization to shed accumulated drift. *)
+let compute_xb st =
+  let sp = st.sp in
+  let m = sp.Sparse.m in
+  if m > 0 then begin
+    let rhs = Array.sub sp.Sparse.b 0 m in
+    for j = 0 to sp.Sparse.n - 1 do
+      if st.stat.(j) <> Basic && st.x.(j) <> 0. then
+        Sparse.axpy_col sp j (-.st.x.(j)) rhs
+    done;
+    let xb = Basis.ftran st.bas rhs in
+    for r = 0 to m - 1 do
+      st.x.(st.bcols.(r)) <- xb.(r)
+    done
+  end
+
+let nonbasic_value st j =
+  match st.stat.(j) with
+  | At_lower -> st.lo.(j)
+  | At_upper -> st.hi.(j)
+  | At_zero -> 0.
+  | Basic -> st.x.(j)
+
+(* Cold state: structural columns rest at a finite bound (0 for free
+   columns), every slack is basic. *)
+let cold_state (prep : prepared) (lo, hi) ~max_iters ~degen_limit =
+  let sp = prep.sp in
+  let nv = sp.Sparse.nv and m = sp.Sparse.m and n = sp.Sparse.n in
+  let stat = Array.make n At_lower in
+  let x = Array.make n 0. in
+  for j = 0 to nv - 1 do
+    stat.(j) <-
+      (if Float.is_finite lo.(j) then At_lower
+       else if Float.is_finite hi.(j) then At_upper
+       else At_zero)
+  done;
+  let bcols = Array.init m (fun i -> nv + i) in
+  for i = 0 to m - 1 do
+    stat.(nv + i) <- Basic
+  done;
+  let st =
+    {
+      sp;
+      lo;
+      hi;
+      x;
+      stat;
+      bcols;
+      bas = Basis.create sp bcols;
+      bland = false;
+      degen = 0;
+      degen_limit;
+      iters = max_iters;
+    }
   in
-  try
-    let value = Array.make n 0. in
-    let st = Array.make n At_lower in
-    for j = 0 to nv - 1 do
-      value.(j) <- init_value j;
-      st.(j) <-
-        (if Float.is_finite lo.(j) then At_lower
-         else if Float.is_finite hi.(j) then At_upper
-         else At_zero)
-    done;
-    let m = nc in
-    let a = Array.make (m * n) 0. in
-    let basis = Array.make (max m 1) (-1) in
-    let c1 = Array.make n 0. and c2 = Array.make n 0. in
-    (* phase-2 costs: minimize internal objective *)
-    let osign = match sense with Model.Minimize -> 1. | Model.Maximize -> -1. in
-    Linexpr.iter (fun id coef -> c2.(id) <- osign *. coef) obj;
-    let next_col = ref nv in
-    let n_art = ref 0 in
-    let art_flags = Array.make n false in
-    for i = 0 to m - 1 do
-      let c = conss.(i) in
-      let row = i * n in
-      (* Normalize Ge rows to Le by negation so slack coefficients are +1. *)
-      let flip = match c.rel with Model.Ge -> -1. | Model.Le | Model.Eq -> 1. in
-      Linexpr.iter (fun id coef -> a.(row + id) <- a.(row + id) +. (flip *. coef)) c.lhs;
-      let rhs = flip *. c.rhs in
-      (* residual with structural columns at their initial values *)
-      let r = ref rhs in
-      Linexpr.iter (fun id coef -> r := !r -. (flip *. coef *. value.(id))) c.lhs;
-      let add_col coef =
-        let j = !next_col in
-        incr next_col;
-        a.(row + j) <- coef;
-        lo.(j) <- 0.;
-        hi.(j) <- Float.infinity;
-        j
+  for j = 0 to n - 1 do
+    if st.stat.(j) <> Basic then st.x.(j) <- nonbasic_value st j
+  done;
+  compute_xb st;
+  st
+
+(* Warm state from a caller-provided basis: re-install statuses, clamp
+   nonbasics onto the (possibly tightened) bounds, refactorize. The
+   factorization may repair a singular selection, in which case the
+   statuses are reconciled with the repaired column set. *)
+let warm_state (prep : prepared) (lo, hi) (b : basis) ~max_iters ~degen_limit =
+  let sp = prep.sp in
+  let n = sp.Sparse.n in
+  let stat = Array.copy b.bstat in
+  let x = Array.make n 0. in
+  let bas = Basis.create sp b.bbcols in
+  let bcols = Basis.bcols bas in
+  (* repair reconciliation: exactly the bcols entries are basic *)
+  Array.iteri (fun j s -> if s = Basic then stat.(j) <- At_lower) stat;
+  Array.iter (fun j -> stat.(j) <- Basic) bcols;
+  let st =
+    { sp; lo; hi; x; stat; bcols; bas; bland = false; degen = 0; degen_limit;
+      iters = max_iters }
+  in
+  for j = 0 to n - 1 do
+    if st.stat.(j) <> Basic then begin
+      (* clamp statuses onto finite/tightened bounds *)
+      (match st.stat.(j) with
+      | At_lower when not (Float.is_finite lo.(j)) ->
+        st.stat.(j) <- (if Float.is_finite hi.(j) then At_upper else At_zero)
+      | At_upper when not (Float.is_finite hi.(j)) ->
+        st.stat.(j) <- (if Float.is_finite lo.(j) then At_lower else At_zero)
+      | At_zero when lo.(j) > 0. -> st.stat.(j) <- At_lower
+      | At_zero when hi.(j) < 0. -> st.stat.(j) <- At_upper
+      | _ -> ());
+      st.x.(j) <- nonbasic_value st j
+    end
+  done;
+  compute_xb st;
+  st
+
+(* ------------------------------------------------------------------ *)
+(* Shared pivot machinery                                              *)
+
+let track_degeneracy st theta =
+  if Float.abs theta > eps_degen then st.degen <- 0
+  else begin
+    st.degen <- st.degen + 1;
+    if st.degen > st.degen_limit then st.bland <- true
+  end
+
+let dense_column st j =
+  let m = st.sp.Sparse.m in
+  let col = Array.make (max m 1) 0. in
+  Sparse.axpy_col st.sp j 1. col;
+  col
+
+(* Install column [j] as basic in row position [r]; [w] is its FTRAN
+   image. Returns after recomputing values if the basis refactorized. *)
+let basis_exchange st ~r ~j ~w =
+  st.bcols.(r) <- j;
+  st.stat.(j) <- Basic;
+  let refactored = Basis.replace st.bas ~r ~col:j ~w in
+  if refactored then compute_xb st
+
+(* ------------------------------------------------------------------ *)
+(* Primal simplex (phases 1 and 2)                                     *)
+
+(* Phase-aware entering direction for a nonbasic column with reduced
+   cost [d]: +1 to increase, -1 to decrease, 0 when ineligible. *)
+let entering_dir st j d =
+  if st.stat.(j) = Basic || st.hi.(j) -. st.lo.(j) <= 1e-12 then 0.
+  else
+    match st.stat.(j) with
+    | At_lower -> if d < -.eps_cost then 1. else 0.
+    | At_upper -> if d > eps_cost then -1. else 0.
+    | At_zero -> if d < -.eps_cost then 1. else if d > eps_cost then -1. else 0.
+    | Basic -> 0.
+
+(* Bounded-variable ratio test. In phase 1, basic variables that are
+   outside their bounds block only when the step would carry them back
+   onto the violated bound (movement deeper into infeasibility is paid
+   for by the dynamic cost, never blocked). Returns the blocking row
+   (or [-1] for a bound flip), the step, and the bound hit. *)
+let ratio_test st ~phase1 ~dir ~w ~j =
+  let m = st.sp.Sparse.m in
+  let theta = ref (st.hi.(j) -. st.lo.(j)) in
+  if Float.is_nan !theta then theta := Float.infinity;
+  let leave = ref (-1) and to_upper = ref false in
+  for r = 0 to m - 1 do
+    let y = dir *. w.(r) in
+    if Float.abs y > eps_pivot then begin
+      let b = st.bcols.(r) in
+      let xb = st.x.(b) in
+      let cap, up =
+        if phase1 && xb < st.lo.(b) -. eps_feas then
+          (* infeasible below: blocks only when rising back to lower *)
+          if y < 0. then ((st.lo.(b) -. xb) /. -.y, false)
+          else (Float.infinity, false)
+        else if phase1 && xb > st.hi.(b) +. eps_feas then
+          if y > 0. then ((xb -. st.hi.(b)) /. y, true)
+          else (Float.infinity, false)
+        else if y > 0. then ((xb -. st.lo.(b)) /. y, false)
+        else ((st.hi.(b) -. xb) /. -.y, true)
       in
-      let negate_row () =
-        for j = 0 to n - 1 do
-          a.(row + j) <- -.a.(row + j)
-        done;
-        r := -. !r
-      in
-      let add_artificial () =
-        if !r < 0. then negate_row ();
-        let t = add_col 1. in
-        incr n_art;
-        c1.(t) <- 1.;
-        art_flags.(t) <- true;
-        basis.(i) <- t;
-        st.(t) <- Basic;
-        value.(t) <- !r
-      in
-      match c.rel with
-      | Model.Le | Model.Ge ->
-        let s = add_col 1. in
-        if !r >= 0. then begin
-          basis.(i) <- s;
-          st.(s) <- Basic;
-          value.(s) <- !r
-        end
-        else begin
-          st.(s) <- At_lower;
-          value.(s) <- 0.;
-          add_artificial ()
-        end
-      | Model.Eq -> add_artificial ()
-    done;
-    let n = !next_col in
-    (* Shrink arrays to the actual column count. *)
-    let shrink arr = Array.sub arr 0 n in
-    let a' = Array.make (m * n) 0. in
-    for i = 0 to m - 1 do
-      Array.blit a (i * (nv + n_slack + nc)) a' (i * n) n
-    done;
-    let t =
-      {
-        m;
-        n;
-        a = a';
-        c1 = shrink c1;
-        c2 = shrink c2;
-        lo = shrink lo;
-        hi = shrink hi;
-        value = shrink value;
-        st = shrink st;
-        basis;
-      }
-    in
-    let max_iters =
-      match max_iters with Some k -> k | None -> (50 * (m + n)) + 200
-    in
-    (* Make both cost rows consistent with the initial basis: eliminate
-       basic columns from the cost rows. *)
-    let fix_costs c =
-      for i = 0 to m - 1 do
-        let b = t.basis.(i) in
-        let f = c.(b) in
-        if Float.abs f > 1e-12 then begin
-          let row = i * t.n in
-          for j = 0 to t.n - 1 do
-            c.(j) <- c.(j) -. (f *. t.a.(row + j))
-          done;
-          c.(b) <- 0.
-        end
-      done
-    in
-    fix_costs t.c1;
-    fix_costs t.c2;
-    let art = Array.sub art_flags 0 t.n in
-    let extract () = Array.sub t.value 0 nv in
-    let finish_phase2 () =
-      match run_phase t t.c2 ~blocked:(fun j -> art.(j)) ~max_iters with
-      | `Optimal ->
-        let values = extract () in
-        Optimal { obj = Linexpr.eval values obj; values }
-      | `Unbounded -> Unbounded
-      | `Iters -> Iter_limit
-    in
-    if !n_art = 0 then finish_phase2 ()
-    else begin
-      (* artificials were assigned c1 = 1 before elimination; recompute a
-         clean phase-1 cost row = sum of artificial rows' negation trick is
-         already handled by fix_costs above. *)
-      match run_phase t t.c1 ~blocked:(fun _ -> false) ~max_iters with
-      | `Unbounded -> Infeasible (* phase-1 objective is bounded below by 0 *)
-      | `Iters -> Iter_limit
-      | `Optimal ->
-        let infeas =
-          Array.to_list (Array.mapi (fun j v -> if art.(j) then v else 0.) t.value)
-          |> List.fold_left ( +. ) 0.
-        in
-        if infeas > eps_feas then Infeasible
-        else begin
-          (* Lock artificials at zero so phase 2 cannot use them. *)
-          for j = 0 to t.n - 1 do
-            if art.(j) then begin
-              t.lo.(j) <- 0.;
-              t.hi.(j) <- 0.;
-              if t.st.(j) <> Basic then begin
-                t.st.(j) <- At_lower;
-                t.value.(j) <- 0.
-              end
-            end
-          done;
-          finish_phase2 ()
+      if cap < Float.infinity then
+        if
+          cap < !theta -. 1e-12
+          || (cap < !theta +. 1e-12
+             && (!leave < 0 || b < st.bcols.(!leave)))
+        then begin
+          theta := Float.max 0. cap;
+          leave := r;
+          to_upper := up
         end
     end
-  with Exit -> Infeasible
+  done;
+  (!leave, !theta, !to_upper)
+
+let apply_primal_step st ~j ~dir ~w ~leave ~theta ~to_upper =
+  let m = st.sp.Sparse.m in
+  let step = dir *. theta in
+  if theta > 0. then begin
+    for r = 0 to m - 1 do
+      let b = st.bcols.(r) in
+      st.x.(b) <- st.x.(b) -. (step *. w.(r))
+    done;
+    st.x.(j) <- st.x.(j) +. step
+  end;
+  track_degeneracy st theta;
+  Lp_stats.incr Lp_stats.pivots;
+  st.iters <- st.iters - 1;
+  if leave < 0 then begin
+    (* bound flip: [j] crosses its whole range, stays nonbasic *)
+    st.stat.(j) <- (if dir > 0. then At_upper else At_lower);
+    st.x.(j) <- (if dir > 0. then st.hi.(j) else st.lo.(j))
+  end
+  else begin
+    let out = st.bcols.(leave) in
+    st.x.(out) <- (if to_upper then st.hi.(out) else st.lo.(out));
+    st.stat.(out) <- (if to_upper then At_upper else At_lower);
+    basis_exchange st ~r:leave ~j ~w
+  end
+
+(* One primal phase. Phase 1 minimizes total bound infeasibility of the
+   basic variables (dynamic ±1 costs); phase 2 minimizes the real
+   objective. *)
+let run_primal st ~phase1 =
+  let sp = st.sp in
+  let m = sp.Sparse.m and n = sp.Sparse.n in
+  let cb = Array.make (max m 1) 0. in
+  let rec loop () =
+    if st.iters <= 0 then `Iters
+    else begin
+      (* basic cost row + feasibility measure *)
+      let maxviol = ref 0. in
+      for r = 0 to m - 1 do
+        let b = st.bcols.(r) in
+        let xb = st.x.(b) in
+        if xb < st.lo.(b) -. eps_feas then begin
+          maxviol := Float.max !maxviol (st.lo.(b) -. xb);
+          cb.(r) <- -1.
+        end
+        else if xb > st.hi.(b) +. eps_feas then begin
+          maxviol := Float.max !maxviol (xb -. st.hi.(b));
+          cb.(r) <- 1.
+        end
+        else cb.(r) <- (if phase1 then 0. else sp.Sparse.cost.(b))
+      done;
+      if phase1 && !maxviol <= eps_feas then `Feasible
+      else begin
+        let y = Basis.btran st.bas cb in
+        (* pricing: d_j = c_j - y . a_j over nonbasic columns *)
+        let best = ref (-1) and best_score = ref eps_cost and best_dir = ref 1. in
+        (try
+           for j = 0 to n - 1 do
+             if st.stat.(j) <> Basic then begin
+               let cj = if phase1 then 0. else sp.Sparse.cost.(j) in
+               let d = cj -. Sparse.col_dot sp j y in
+               let dir = entering_dir st j d in
+               if dir <> 0. then
+                 if st.bland then begin
+                   best := j;
+                   best_dir := dir;
+                   raise Exit
+                 end
+                 else if Float.abs d > !best_score then begin
+                   best := j;
+                   best_score := Float.abs d;
+                   best_dir := dir
+                 end
+             end
+           done
+         with Exit -> ());
+        if !best < 0 then if phase1 then `Still_infeasible else `Optimal
+        else begin
+          let j = !best and dir = !best_dir in
+          let w = Basis.ftran st.bas (dense_column st j) in
+          let leave, theta, to_upper = ratio_test st ~phase1 ~dir ~w ~j in
+          if leave < 0 && theta = Float.infinity then
+            if phase1 then `Still_infeasible (* numerically stuck ray *)
+            else `Unbounded
+          else begin
+            apply_primal_step st ~j ~dir ~w ~leave ~theta ~to_upper;
+            loop ()
+          end
+        end
+      end
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Dual simplex                                                        *)
+
+(* Reduced costs of all columns for the real objective. *)
+let reduced_costs st =
+  let sp = st.sp in
+  let m = sp.Sparse.m and n = sp.Sparse.n in
+  let cb = Array.make (max m 1) 0. in
+  for r = 0 to m - 1 do
+    cb.(r) <- sp.Sparse.cost.(st.bcols.(r))
+  done;
+  let y = Basis.btran st.bas cb in
+  Array.init n (fun j ->
+      if st.stat.(j) = Basic then 0.
+      else sp.Sparse.cost.(j) -. Sparse.col_dot sp j y)
+
+let dual_feasible st d =
+  let ok = ref true in
+  Array.iteri
+    (fun j s ->
+      if !ok && s <> Basic && st.hi.(j) -. st.lo.(j) > 1e-12 then
+        match s with
+        | At_lower -> if d.(j) < -.eps_dual then ok := false
+        | At_upper -> if d.(j) > eps_dual then ok := false
+        | At_zero -> if Float.abs d.(j) > eps_dual then ok := false
+        | Basic -> ())
+    st.stat;
+  !ok
+
+(* Dual simplex loop: repair primal feasibility while keeping dual
+   feasibility. Assumes the caller verified dual feasibility. *)
+let run_dual st =
+  let sp = st.sp in
+  let m = sp.Sparse.m and n = sp.Sparse.n in
+  let rec loop () =
+    if st.iters <= 0 then `Iters
+    else begin
+      (* leaving: the most violated basic variable *)
+      let r = ref (-1) and viol = ref eps_feas and below = ref false in
+      for i = 0 to m - 1 do
+        let b = st.bcols.(i) in
+        let xb = st.x.(b) in
+        if st.lo.(b) -. xb > !viol then begin
+          viol := st.lo.(b) -. xb;
+          r := i;
+          below := true
+        end
+        else if xb -. st.hi.(b) > !viol then begin
+          viol := xb -. st.hi.(b);
+          r := i;
+          below := false
+        end
+      done;
+      if !r < 0 then `Optimal
+      else begin
+        let r = !r and below = !below in
+        let d = reduced_costs st in
+        let er = Array.make (max m 1) 0. in
+        er.(r) <- 1.;
+        let rho = Basis.btran st.bas er in
+        (* dual ratio test over the pivot row alpha_j = rho . a_j *)
+        let bestj = ref (-1)
+        and best_ratio = ref Float.infinity
+        and best_mag = ref 0. in
+        (try
+           for j = 0 to n - 1 do
+             if st.stat.(j) <> Basic && st.hi.(j) -. st.lo.(j) > 1e-12 then begin
+               let alpha = Sparse.col_dot sp j rho in
+               if Float.abs alpha > eps_pivot then begin
+                 let eligible =
+                   match (st.stat.(j), below) with
+                   | At_lower, true -> alpha < 0.
+                   | At_lower, false -> alpha > 0.
+                   | At_upper, true -> alpha > 0.
+                   | At_upper, false -> alpha < 0.
+                   | At_zero, _ -> true
+                   | Basic, _ -> false
+                 in
+                 if eligible then begin
+                   let ratio = Float.abs d.(j) /. Float.abs alpha in
+                   if st.bland then begin
+                     (* Bland: first eligible column ends the scan *)
+                     bestj := j;
+                     best_mag := Float.abs alpha;
+                     raise Exit
+                   end
+                   else if
+                     ratio < !best_ratio -. 1e-12
+                     || (ratio < !best_ratio +. 1e-12
+                        && Float.abs alpha > !best_mag)
+                   then begin
+                     bestj := j;
+                     best_ratio := ratio;
+                     best_mag := Float.abs alpha
+                   end
+                 end
+               end
+             end
+           done
+         with Exit -> ());
+        if !bestj < 0 then `Infeasible (* dual unbounded *)
+        else begin
+          let q = !bestj in
+          let w = Basis.ftran st.bas (dense_column st q) in
+          if Float.abs w.(r) < 1e-9 then `Numerical
+          else begin
+            let out = st.bcols.(r) in
+            let bound = if below then st.lo.(out) else st.hi.(out) in
+            let t = (st.x.(out) -. bound) /. w.(r) in
+            for i = 0 to m - 1 do
+              let b = st.bcols.(i) in
+              st.x.(b) <- st.x.(b) -. (t *. w.(i))
+            done;
+            st.x.(q) <- st.x.(q) +. t;
+            st.x.(out) <- bound;
+            st.stat.(out) <- (if below then At_lower else At_upper);
+            track_degeneracy st (Float.abs d.(q));
+            Lp_stats.incr Lp_stats.dual_pivots;
+            Lp_stats.incr Lp_stats.pivots;
+            st.iters <- st.iters - 1;
+            basis_exchange st ~r ~j:q ~w;
+            loop ()
+          end
+        end
+      end
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Drivers                                                             *)
+
+let extract_basis st =
+  Some
+    {
+      bn = st.sp.Sparse.n;
+      bnv = st.sp.Sparse.nv;
+      bstat = Array.copy st.stat;
+      bbcols = Array.copy st.bcols;
+    }
+
+let finish_optimal (prep : prepared) st =
+  let values = Array.sub st.x 0 st.sp.Sparse.nv in
+  let _, obj = Model.objective prep.pmodel in
+  (Optimal { obj = Linexpr.eval values obj; values }, extract_basis st)
+
+let cold_solve prep bounds ~max_iters ~degen_limit =
+  let st = cold_state prep bounds ~max_iters ~degen_limit in
+  match run_primal st ~phase1:true with
+  | `Iters -> (Iter_limit, None)
+  | `Still_infeasible | `Optimal | `Unbounded -> (Infeasible, None)
+  | `Feasible -> (
+    match run_primal st ~phase1:false with
+    | `Optimal -> finish_optimal prep st
+    | `Unbounded -> (Unbounded, None)
+    | `Iters -> (Iter_limit, None)
+    | `Feasible | `Still_infeasible -> assert false)
+
+let default_iters sp = (50 * (sp.Sparse.m + sp.Sparse.n)) + 200
+
+let of_dense = function
+  | Dense_simplex.Optimal { obj; values } -> Optimal { obj; values }
+  | Dense_simplex.Infeasible -> Infeasible
+  | Dense_simplex.Unbounded -> Unbounded
+  | Dense_simplex.Iter_limit -> Iter_limit
+
+let solve_prepared ?(engine = Revised) ?lb ?ub ?max_iters ?degen_limit ?warm
+    prep =
+  match engine with
+  | Dense -> (of_dense (Dense_simplex.solve ?lb ?ub ?max_iters prep.pmodel), None)
+  | Revised -> (
+    let sp = prep.sp in
+    let max_iters = match max_iters with Some k -> k | None -> default_iters sp in
+    let degen_limit =
+      match degen_limit with
+      | Some k -> k
+      | None -> max 50 (sp.Sparse.m + sp.Sparse.n)
+    in
+    try
+      let bounds = fresh_bounds prep ?lb ?ub () in
+      let warm =
+        match warm with
+        | Some b when b.bn = sp.Sparse.n && b.bnv = sp.Sparse.nv -> Some b
+        | _ -> None
+      in
+      match warm with
+      | None -> cold_solve prep bounds ~max_iters ~degen_limit
+      | Some b -> (
+        Lp_stats.incr Lp_stats.warm_attempts;
+        let st = warm_state prep bounds b ~max_iters ~degen_limit in
+        let d = reduced_costs st in
+        if not (dual_feasible st d) then
+          cold_solve prep bounds ~max_iters ~degen_limit
+        else
+          match run_dual st with
+          | `Optimal ->
+            Lp_stats.incr Lp_stats.warm_hits;
+            finish_optimal prep st
+          | `Infeasible ->
+            Lp_stats.incr Lp_stats.warm_hits;
+            (Infeasible, None)
+          | `Numerical | `Iters ->
+            (* fall back to a cold solve on the remaining budget *)
+            cold_solve prep bounds ~max_iters:(max 1 st.iters) ~degen_limit)
+    with Box_infeasible -> (Infeasible, None))
+
+let solve ?engine ?lb ?ub ?max_iters model =
+  fst (solve_prepared ?engine ?lb ?ub ?max_iters (prepare model))

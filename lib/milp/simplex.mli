@@ -1,9 +1,25 @@
-(** Two-phase primal simplex for linear programs.
+(** Bounded-variable revised simplex on a sparse CSC matrix with an
+    LU-factorized basis ({!Basis}), plus a dual simplex for
+    warm-started re-solves.
 
-    Implements the bounded-variable simplex method on a dense tableau:
-    variable bounds are handled natively (no bound rows), which keeps the
-    tableau small when branch-and-bound repeatedly tightens bounds.
-    Anti-cycling falls back to Bland's rule after a stall is detected. *)
+    This is the default LP kernel. A cold solve runs a composite
+    phase-1 primal (dynamic infeasibility costs on out-of-bound basics,
+    no artificial columns — every row carries a logical slack, so the
+    all-slack basis is always a valid start) followed by the primal
+    phase 2. A warm solve re-installs a caller-supplied basis and runs
+    the dual simplex: after a branch-and-bound bound change the
+    parent's optimal basis stays dual feasible, so children typically
+    finish in a handful of dual pivots. Numerical trouble on the warm
+    path falls back to a cold primal solve on the remaining iteration
+    budget.
+
+    The legacy dense tableau ({!Dense_simplex}) remains reachable
+    through [~engine:Dense] ([--dense-simplex] at the CLI) for
+    differential testing.
+
+    Anti-cycling: after [degen_limit] consecutive degenerate pivots
+    both primal and dual ratio tests switch to Bland's rule (lowest
+    eligible index) for the rest of the solve. *)
 
 type result =
   | Optimal of { obj : float; values : float array }
@@ -13,25 +29,71 @@ type result =
   | Iter_limit
       (** The iteration budget was exhausted before optimality. *)
 
-(** [solve ?lb ?ub ?max_iters model] solves the LP relaxation of [model]
-    (integrality is ignored). [lb]/[ub] override the model's variable
-    bounds — branch-and-bound uses this to explore nodes without copying
-    the model. The default iteration budget is [50 * (rows + cols) + 200].
+(** Status of a column in a returned basis. [At_zero] marks a free
+    nonbasic column resting at 0. *)
+type vstat = Basic | At_lower | At_upper | At_zero
 
-    Integer kinds are ignored; the objective honours the model's sense. *)
+type engine = Revised | Dense
+
+(** An optimal (or final) basis: statuses and basic-column selection
+    for the internal standard form (structurals followed by one slack
+    per row). Opaque enough to pass back as [?warm]; use
+    {!var_statuses} for the structural statuses. *)
+type basis
+
+(** A model together with its CSC standard form, built once and shared
+    across re-solves (the matrix depends only on the rows, never on
+    variable bounds, so it is safe to share across B&B nodes). *)
+type prepared
+
+val prepare : Model.t -> prepared
+
+(** [solve ?engine ?lb ?ub ?max_iters model] solves the LP relaxation
+    of [model] (integrality is ignored). [lb]/[ub] override the model's
+    variable bounds. The default iteration budget is
+    [50 * (rows + cols) + 200]. Cold-starts; for warm starts use
+    {!prepare} + {!solve_prepared}. *)
 val solve :
+  ?engine:engine ->
   ?lb:float array ->
   ?ub:float array ->
   ?max_iters:int ->
   Model.t ->
   result
 
-(** Cumulative number of simplex pivots performed on the {e calling
-    domain}. The counter is domain-local, so concurrent solves on a
-    worker pool never race; read it before and after a region to get
-    that region's pivot count (diagnostic; useful for benchmarking and
-    as a [Parallel.Pool] counter hook). *)
+(** [solve_prepared ?engine ?lb ?ub ?max_iters ?degen_limit ?warm prep]
+    is {!solve} on a prepared model, returning the final basis alongside
+    the result (for [Optimal] under the revised engine; [None]
+    otherwise). [?warm] supplies a starting basis — ignored if it was
+    extracted from a differently-shaped model. [?degen_limit] sets the
+    number of consecutive degenerate pivots tolerated before switching
+    to Bland's rule (default [max 50 (rows + cols)]). *)
+val solve_prepared :
+  ?engine:engine ->
+  ?lb:float array ->
+  ?ub:float array ->
+  ?max_iters:int ->
+  ?degen_limit:int ->
+  ?warm:basis ->
+  prepared ->
+  result * basis option
+
+(** Statuses of the structural (model) variables in a basis, indexed by
+    variable id. *)
+val var_statuses : basis -> vstat array
+
+(** Domain-local cumulative counters (see {!Lp_stats}). [pivots] counts
+    primal and dual pivots of both engines; the rest are revised-engine
+    only. *)
+
 val cumulative_iterations : unit -> int
 
-(** Alias of {!cumulative_iterations} (historical name). *)
+(** Alias of {!cumulative_iterations}, kept for callers that diff the
+    counter around a solve. *)
 val last_iterations : unit -> int
+
+val cumulative_dual_pivots : unit -> int
+val cumulative_factorizations : unit -> int
+val cumulative_eta_updates : unit -> int
+val cumulative_warm_attempts : unit -> int
+val cumulative_warm_hits : unit -> int

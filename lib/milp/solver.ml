@@ -7,6 +7,7 @@ type options = {
   warm_start : float array option;
   plunge_hints : (int * float) list list;
   presolve : bool;
+  dense_simplex : bool;
 }
 
 (* The values shared with branch-and-bound are derived from
@@ -22,7 +23,11 @@ let default_options =
     warm_start = d.Branch_bound.warm_start;
     plunge_hints = d.Branch_bound.plunge_hints;
     presolve = true;
+    dense_simplex = false;
   }
+
+let engine_of options =
+  if options.dense_simplex then Simplex.Dense else Simplex.Revised
 
 let with_time_limit t = { default_options with time_limit = t }
 
@@ -33,6 +38,7 @@ type solution = {
   obj : float;
   bound : float;
   values : float array;
+  statuses : Simplex.vstat array;
   nodes : int;
   elapsed : float;
 }
@@ -40,15 +46,20 @@ type solution = {
 (* Solve a model as-is (no presolve), with [t0] as the wall-clock origin
    so elapsed times include any reduction work done by the caller. *)
 let solve_direct ~options ~t0 model =
-  let finish status obj bound values nodes =
-    { status; obj; bound; values; nodes; elapsed = Unix.gettimeofday () -. t0 }
+  let finish ?(statuses = [||]) status obj bound values nodes =
+    { status; obj; bound; values; statuses; nodes;
+      elapsed = Unix.gettimeofday () -. t0 }
   in
   if Model.num_int_vars model = 0 then
-    match Simplex.solve model with
-    | Simplex.Optimal { obj; values } -> finish Optimal obj obj values 0
-    | Simplex.Infeasible -> finish Infeasible nan nan [||] 0
-    | Simplex.Unbounded -> finish Unbounded infinity infinity [||] 0
-    | Simplex.Iter_limit -> finish Unknown nan nan [||] 0
+    match Simplex.solve_prepared ~engine:(engine_of options) (Simplex.prepare model) with
+    | Simplex.Optimal { obj; values }, basis ->
+      let statuses =
+        match basis with Some b -> Simplex.var_statuses b | None -> [||]
+      in
+      finish ~statuses Optimal obj obj values 0
+    | Simplex.Infeasible, _ -> finish Infeasible nan nan [||] 0
+    | Simplex.Unbounded, _ -> finish Unbounded infinity infinity [||] 0
+    | Simplex.Iter_limit, _ -> finish Unknown nan nan [||] 0
   else begin
     let bb_options =
       {
@@ -60,6 +71,7 @@ let solve_direct ~options ~t0 model =
         branch_priority = options.branch_priority;
         warm_start = options.warm_start;
         plunge_hints = options.plunge_hints;
+        engine = engine_of options;
       }
     in
     let r = Branch_bound.solve ~options:bb_options model in
@@ -81,8 +93,8 @@ let solve ?(options = default_options) model =
   else
     match Presolve.presolve model with
     | Presolve.Infeasible _ ->
-      { status = Infeasible; obj = nan; bound = nan; values = [||]; nodes = 0;
-        elapsed = Unix.gettimeofday () -. t0 }
+      { status = Infeasible; obj = nan; bound = nan; values = [||];
+        statuses = [||]; nodes = 0; elapsed = Unix.gettimeofday () -. t0 }
     | Presolve.Reduced { model = rm; post; stats = _ } ->
       (* Caller-supplied vectors and priorities speak original ids;
          translate them into the reduced space before solving, and lift
@@ -103,7 +115,18 @@ let solve ?(options = default_options) model =
         }
       in
       let sol = solve_direct ~options ~t0 rm in
-      { sol with values = Postsolve.restore post sol.values }
+      (* lift the point and any basis statuses back to original ids; a
+         presolve-fixed variable sits at its collapsed bounds, so
+         At_lower is its natural status *)
+      {
+        sol with
+        values = Postsolve.restore post sol.values;
+        statuses =
+          (if Array.length sol.statuses = 0 then [||]
+           else
+             Postsolve.restore_statuses post ~fill:Simplex.At_lower
+               sol.statuses);
+      }
 
 let value sol (v : Model.var) =
   if Array.length sol.values = 0 then nan else sol.values.(v.vid)
@@ -115,6 +138,11 @@ let has_point sol = match sol.status with Optimal | Feasible -> true | _ -> fals
 let stats_counters =
   [
     ("simplex", Simplex.cumulative_iterations);
+    ("dual-pivots", Simplex.cumulative_dual_pivots);
+    ("factorizations", Simplex.cumulative_factorizations);
+    ("eta-updates", Simplex.cumulative_eta_updates);
+    ("warm-attempts", Simplex.cumulative_warm_attempts);
+    ("warm-hits", Simplex.cumulative_warm_hits);
     ("bb-nodes", Branch_bound.cumulative_nodes);
     ("presolve-rows", Presolve.cumulative_rows_removed);
     ("presolve-cols", Presolve.cumulative_cols_fixed);

@@ -18,6 +18,10 @@ type options = {
       (** run {!Presolve} before solving (default [true]); solutions are
           postsolved back to the original indexing, so this is externally
           invisible apart from speed *)
+  dense_simplex : bool;
+      (** solve LP relaxations with the legacy dense tableau
+          ({!Dense_simplex}) instead of the revised engine (default
+          [false]); forfeits warm starts and basis statuses *)
 }
 
 (** Defaults shared with branch-and-bound are derived from
@@ -38,6 +42,10 @@ type solution = {
   obj : float;
   bound : float;
   values : float array;
+  statuses : Simplex.vstat array;
+      (** optimal-basis status per variable (original indexing, presolve
+          fixings filled with [At_lower]); empty for MILPs, non-optimal
+          outcomes, and the dense engine *)
   nodes : int;
   elapsed : float;
 }
@@ -53,9 +61,11 @@ val bool_value : solution -> Model.var -> bool
 (** True when the solution carries a usable point (Optimal or Feasible). *)
 val has_point : solution -> bool
 
-(** Domain-local cumulative counter hooks — simplex pivots ([simplex]),
-    branch-and-bound nodes ([bb-nodes]) and presolve reductions
-    ([presolve-rows]/[presolve-cols]/[presolve-bigm]) — in the shape
+(** Domain-local cumulative counter hooks — simplex pivots ([simplex],
+    primal + dual across both engines), revised-engine internals
+    ([dual-pivots], [factorizations], [eta-updates], [warm-attempts],
+    [warm-hits]), branch-and-bound nodes ([bb-nodes]) and presolve
+    reductions ([presolve-rows]/[presolve-cols]/[presolve-bigm]) — in the shape
     [Parallel.Pool.create ~counters] expects; pass this to a pool to have
     solver work aggregated into its one-line stats summaries. *)
 val stats_counters : (string * (unit -> int)) list

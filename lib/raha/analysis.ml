@@ -7,6 +7,7 @@ type options = {
   seed_enumeration : int option;
   domains : int;
   presolve : bool;
+  dense_simplex : bool;
 }
 
 let default_options =
@@ -19,6 +20,7 @@ let default_options =
     seed_enumeration = None;
     domains = 1;
     presolve = true;
+    dense_simplex = false;
   }
 
 let with_timeout t = { default_options with time_limit = t }
@@ -143,6 +145,7 @@ let analyze ?(options = default_options) topo paths envelope =
       branch_priority = built.Bilevel.branch_priority;
       plunge_hints = hints;
       presolve = options.presolve;
+      dense_simplex = options.dense_simplex;
     }
   in
   let sol = Milp.Solver.solve ~options:solver_options built.Bilevel.model in

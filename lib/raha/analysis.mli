@@ -27,6 +27,11 @@ type options = {
       (** run the {!Milp.Presolve} reductions (big-M tightening, probing
           on the failure binaries, …) before branch-and-bound; default
           [true]. Disable with the CLI/bench [--no-presolve] flags. *)
+  dense_simplex : bool;
+      (** solve LP relaxations with the legacy dense tableau instead of
+          the revised simplex (no sparse factorization, no dual-simplex
+          warm starts); default [false]. Enable with the CLI/bench
+          [--dense-simplex] flags. *)
 }
 
 val default_options : options

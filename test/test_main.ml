@@ -12,5 +12,6 @@ let () =
       ("traffic", Test_traffic.suite);
       ("extensions", Test_extensions.suite);
       ("simplex diff", Test_simplex_diff.suite);
+      ("revised simplex", Test_revised.suite);
       ("parallel", Test_parallel.suite);
     ]
