@@ -38,6 +38,8 @@ type t = {
   mutable refactors : int;
 }
 
+exception Singular of string
+
 let drop_tol = 1e-12
 let stab_tol = 1e-7
 
@@ -249,7 +251,7 @@ let build_lu a cols =
   let rec attempt threshold tries =
     let lu, bad_rows, bad_pos = factorize a cols ~threshold in
     if bad_rows <> [] then begin
-      if tries > 3 then failwith "Basis.create: singular basis beyond repair";
+      if tries > 3 then raise (Singular "singular basis beyond repair");
       (* Repair: give every unpivoted position its own unpivoted row's
          slack column (a fresh unit column in exactly that row). *)
       let used = Array.make a.Sparse.n false in
@@ -260,7 +262,7 @@ let build_lu a cols =
       List.iter
         (fun p ->
           let rec pick acc = function
-            | [] -> failwith "Basis.create: no slack available for repair"
+            | [] -> raise (Singular "no slack available for repair")
             | r :: tl ->
               if used.(nv + r) then pick (r :: acc) tl
               else begin

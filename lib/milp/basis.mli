@@ -10,6 +10,12 @@
 
 type t
 
+(** Raised (by {!create} or a refactorizing {!replace}) when a basis
+    stays singular after the slack-repair attempts. Callers should
+    degrade — e.g. restart from the all-slack basis or another
+    engine — rather than treat this as fatal. *)
+exception Singular of string
+
 (** [create a bcols] factorizes the basis formed by columns
     [bcols.(0..m-1)] of [a] (the array is copied). Structurally or
     numerically singular selections are repaired by replacing the
@@ -32,8 +38,10 @@ val btran : t -> float array -> float array
     position [r], where [w = ftran t (column col)] is the pivot column
     in position space. Appends an eta update, or refactorizes when the
     eta file is full or [w.(r)] is unstable. Returns [true] when a
-    refactorization happened (callers should then recompute values
-    from scratch to shed accumulated drift). *)
+    refactorization happened; the rebuild may repair a singular
+    selection (as in {!create}), so callers must then re-read {!bcols}
+    to reconcile their own column/status bookkeeping and recompute
+    values from scratch to shed accumulated drift. *)
 val replace : t -> r:int -> col:int -> w:float array -> bool
 
 (** Positive when [replace] refactorized due to instability at least

@@ -202,13 +202,42 @@ let dense_column st j =
   Sparse.axpy_col st.sp j 1. col;
   col
 
+(* A refactorization may repair a singular basis by swapping slack
+   columns into some positions (see Basis.build_lu). Reconcile
+   [st.bcols]/[st.stat] with the basis' actual column set — the same
+   way [warm_state] does — so [compute_xb] writes basic values to the
+   right columns. *)
+let sync_repair st =
+  let actual = Basis.bcols st.bas in
+  let changed = ref false in
+  Array.iteri
+    (fun r c -> if st.bcols.(r) <> c then changed := true)
+    actual;
+  if !changed then begin
+    Array.blit actual 0 st.bcols 0 (Array.length actual);
+    Array.iteri
+      (fun j s ->
+        if s = Basic then begin
+          st.stat.(j) <-
+            (if Float.is_finite st.lo.(j) then At_lower
+             else if Float.is_finite st.hi.(j) then At_upper
+             else At_zero);
+          st.x.(j) <- nonbasic_value st j
+        end)
+      st.stat;
+    Array.iter (fun j -> st.stat.(j) <- Basic) st.bcols
+  end
+
 (* Install column [j] as basic in row position [r]; [w] is its FTRAN
    image. Returns after recomputing values if the basis refactorized. *)
 let basis_exchange st ~r ~j ~w =
   st.bcols.(r) <- j;
   st.stat.(j) <- Basic;
   let refactored = Basis.replace st.bas ~r ~col:j ~w in
-  if refactored then compute_xb st
+  if refactored then begin
+    sync_repair st;
+    compute_xb st
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Primal simplex (phases 1 and 2)                                     *)
@@ -339,7 +368,14 @@ let run_primal st ~phase1 =
              end
            done
          with Exit -> ());
-        if !best < 0 then if phase1 then `Still_infeasible else `Optimal
+        if !best < 0 then
+          if phase1 then `Still_infeasible
+          else if !maxviol > eps_feas then
+            (* refactorization drift pushed a basic outside its bounds:
+               pricing is clean but the point is not feasible, so this
+               is not an optimum *)
+            `Lost_feas
+          else `Optimal
         else begin
           let j = !best and dir = !best_dir in
           let w = Basis.ftran st.bas (dense_column st j) in
@@ -438,10 +474,16 @@ let run_dual st =
                  if eligible then begin
                    let ratio = Float.abs d.(j) /. Float.abs alpha in
                    if st.bland then begin
-                     (* Bland: first eligible column ends the scan *)
-                     bestj := j;
-                     best_mag := Float.abs alpha;
-                     raise Exit
+                     (* Bland mode still needs the min-ratio test (a
+                        non-min-ratio dual pivot breaks dual
+                        feasibility); the scan runs in column order, so
+                        taking only strict improvements keeps the
+                        lowest index among ratio ties *)
+                     if ratio < !best_ratio -. 1e-12 then begin
+                       bestj := j;
+                       best_ratio := ratio;
+                       best_mag := Float.abs alpha
+                     end
                    end
                    else if
                      ratio < !best_ratio -. 1e-12
@@ -505,15 +547,24 @@ let finish_optimal (prep : prepared) st =
 
 let cold_solve prep bounds ~max_iters ~degen_limit =
   let st = cold_state prep bounds ~max_iters ~degen_limit in
-  match run_primal st ~phase1:true with
-  | `Iters -> (Iter_limit, None)
-  | `Still_infeasible | `Optimal | `Unbounded -> (Infeasible, None)
-  | `Feasible -> (
-    match run_primal st ~phase1:false with
-    | `Optimal -> finish_optimal prep st
-    | `Unbounded -> (Unbounded, None)
+  let rec go () =
+    match run_primal st ~phase1:true with
     | `Iters -> (Iter_limit, None)
-    | `Feasible | `Still_infeasible -> assert false)
+    | `Still_infeasible | `Optimal | `Unbounded | `Lost_feas ->
+      (Infeasible, None)
+    | `Feasible -> (
+      match run_primal st ~phase1:false with
+      | `Optimal -> finish_optimal prep st
+      | `Lost_feas ->
+        (* restore feasibility with another phase 1 on the remaining
+           budget (Lost_feas implies at least one pivot was spent, so
+           this terminates) *)
+        if st.iters > 0 then go () else (Iter_limit, None)
+      | `Unbounded -> (Unbounded, None)
+      | `Iters -> (Iter_limit, None)
+      | `Feasible | `Still_infeasible -> assert false)
+  in
+  go ()
 
 let default_iters sp = (50 * (sp.Sparse.m + sp.Sparse.n)) + 200
 
@@ -537,30 +588,54 @@ let solve_prepared ?(engine = Revised) ?lb ?ub ?max_iters ?degen_limit ?warm
     in
     try
       let bounds = fresh_bounds prep ?lb ?ub () in
+      let cold iters =
+        try cold_solve prep bounds ~max_iters:iters ~degen_limit
+        with Basis.Singular _ ->
+          (* pathological basis beyond slack repair: degrade to the
+             dense tableau rather than crash the solve *)
+          (of_dense (Dense_simplex.solve ?lb ?ub ~max_iters prep.pmodel), None)
+      in
       let warm =
         match warm with
         | Some b when b.bn = sp.Sparse.n && b.bnv = sp.Sparse.nv -> Some b
         | _ -> None
       in
       match warm with
-      | None -> cold_solve prep bounds ~max_iters ~degen_limit
+      | None -> cold max_iters
       | Some b -> (
         Lp_stats.incr Lp_stats.warm_attempts;
-        let st = warm_state prep bounds b ~max_iters ~degen_limit in
-        let d = reduced_costs st in
-        if not (dual_feasible st d) then
-          cold_solve prep bounds ~max_iters ~degen_limit
-        else
-          match run_dual st with
-          | `Optimal ->
-            Lp_stats.incr Lp_stats.warm_hits;
-            finish_optimal prep st
-          | `Infeasible ->
-            Lp_stats.incr Lp_stats.warm_hits;
-            (Infeasible, None)
-          | `Numerical | `Iters ->
-            (* fall back to a cold solve on the remaining budget *)
-            cold_solve prep bounds ~max_iters:(max 1 st.iters) ~degen_limit)
+        let attempt =
+          try
+            let st = warm_state prep bounds b ~max_iters ~degen_limit in
+            if not (dual_feasible st (reduced_costs st)) then
+              `Cold max_iters
+            else begin
+              match run_dual st with
+              | `Optimal ->
+                (* a mid-solve repair/refactorization can perturb the
+                   reduced costs; only trust a basis the dual simplex
+                   left dual feasible, otherwise its bound may be
+                   understated *)
+                if dual_feasible st (reduced_costs st) then
+                  `Done (finish_optimal prep st)
+                else `Cold (max 1 st.iters)
+              | `Infeasible ->
+                (* dual unboundedness proves primal infeasibility only
+                   from a dual-feasible basis *)
+                if dual_feasible st (reduced_costs st) then
+                  `Done (Infeasible, None)
+                else `Cold (max 1 st.iters)
+              | `Numerical | `Iters ->
+                (* fall back to a cold solve on the remaining budget *)
+                `Cold (max 1 st.iters)
+            end
+          with Basis.Singular _ -> `Cold max_iters
+        in
+        match attempt with
+        | `Done r ->
+          Lp_stats.incr Lp_stats.warm_hits;
+          r
+        | `Cold iters -> cold iters)
     with Box_infeasible -> (Infeasible, None))
 
 let solve ?engine ?lb ?ub ?max_iters model =

@@ -161,6 +161,66 @@ let test_anti_cycling () =
       | _ -> Alcotest.fail "expected optimal")
     [ Some 0; Some 5; None ]
 
+(* Regression for the dual Bland fallback: with degen_limit 0 the
+   first degenerate pivot flips both ratio tests to Bland mode, which
+   must still honour the dual min-ratio requirement — a non-min-ratio
+   dual pivot breaks dual feasibility and silently understates the
+   objective. Warm-started children under forced Bland must therefore
+   agree with default cold solves. *)
+let test_dual_bland_min_ratio () =
+  for case = 0 to 39 do
+    let rng = Random.State.make [| 0xb1a4d; case |] in
+    let mdl = random_milp case in
+    let nv = Milp.Model.num_vars mdl in
+    let prep = Milp.Simplex.prepare mdl in
+    match Milp.Simplex.solve_prepared prep with
+    | Milp.Simplex.Optimal { values; _ }, Some parent ->
+      let lb, ub = Milp.Model.bounds mdl in
+      let lb = Array.copy lb and ub = Array.copy ub in
+      let id = Random.State.int rng nv in
+      let x = values.(id) in
+      if Random.State.bool rng then ub.(id) <- Float.max lb.(id) (Float.floor x)
+      else lb.(id) <- Float.min ub.(id) (Float.ceil x);
+      let warm, _ =
+        Milp.Simplex.solve_prepared ~lb ~ub ~degen_limit:0 ~warm:parent prep
+      in
+      let cold, _ = Milp.Simplex.solve_prepared ~lb ~ub prep in
+      (match (warm, cold) with
+      | ( Milp.Simplex.Optimal { obj = wobj; _ },
+          Milp.Simplex.Optimal { obj = cobj; _ } ) ->
+        let eps = 1e-6 *. (1. +. Float.abs cobj) in
+        check_float ~eps
+          (Printf.sprintf "case %d bland warm vs cold objective" case)
+          cobj wobj
+      | Milp.Simplex.Infeasible, Milp.Simplex.Infeasible -> ()
+      | _ -> Alcotest.failf "case %d: bland warm and cold disagree" case)
+    | _ -> Alcotest.failf "case %d: parent LP not optimal with basis" case
+  done
+
+(* Basis repair: a structurally singular selection (duplicate column)
+   must be repaired with slack columns rather than raise, the repair
+   must be visible through [bcols], and the repaired factorization must
+   actually solve. *)
+let test_singular_basis_repair () =
+  let mdl = Milp.Model.create () in
+  let x = Milp.Model.continuous ~ub:1. mdl "x" in
+  let t l =
+    Milp.Linexpr.of_terms (List.map (fun (k, v) -> (k, v.Milp.Model.vid)) l)
+  in
+  Milp.Model.add_cons mdl (t [ (1., x) ]) Milp.Model.Le 1.;
+  Milp.Model.add_cons mdl (t [ (1., x) ]) Milp.Model.Le 2.;
+  Milp.Model.set_objective mdl Milp.Model.Maximize (t [ (1., x) ]);
+  let sp = Milp.Sparse.of_model mdl in
+  (* both positions claim structural column 0: singular, needs repair *)
+  let bas = Milp.Basis.create sp [| 0; 0 |] in
+  let cols = Milp.Basis.bcols bas in
+  Alcotest.(check bool) "repaired columns distinct" true (cols.(0) <> cols.(1));
+  let rhs = Array.make 2 0. in
+  Milp.Sparse.axpy_col sp cols.(0) 1. rhs;
+  let sol = Milp.Basis.ftran bas rhs in
+  check_float "repaired basis solves: e_0 (0)" 1. sol.(0);
+  check_float "repaired basis solves: e_0 (1)" 0. sol.(1)
+
 let test_heap_tiebreak () =
   let better = Milp.Branch_bound.better_key in
   Alcotest.(check bool) "strictly better bound wins" true (better (2., 0) (1., 9));
@@ -200,6 +260,8 @@ let suite =
     ("64 random MILPs: revised vs dense", `Quick, test_differential);
     ("warm-started child equals cold solve", `Quick, test_warm_start_property);
     ("anti-cycling on Beale's LP", `Quick, test_anti_cycling);
+    ("dual Bland keeps the min-ratio test", `Quick, test_dual_bland_min_ratio);
+    ("singular basis is slack-repaired", `Quick, test_singular_basis_repair);
     ("heap tie-break tolerance", `Quick, test_heap_tiebreak);
     ("solver reports postsolved basis statuses", `Quick, test_solver_statuses);
   ]
