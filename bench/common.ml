@@ -12,11 +12,12 @@ type ctx = {
   domains : int;  (** OCaml domains for the scenario-sweep experiments *)
   presolve : bool;  (** MILP presolve for every solve ([--no-presolve]) *)
   dense_simplex : bool;  (** legacy dense LP engine ([--dense-simplex]) *)
+  certify : bool;  (** independent solution audit ([--no-certify]) *)
 }
 
 let default_ctx =
   { budget = 10.; full = false; quick = false; domains = 1; presolve = true;
-    dense_simplex = false }
+    dense_simplex = false; certify = true }
 
 let printf = Format.printf
 
@@ -63,7 +64,19 @@ let spec ?(objective = Te.Formulation.Total_flow) ?threshold ?max_failures ?(ce 
 
 let options ctx spec =
   { (Raha.Analysis.with_timeout ctx.budget) with spec; presolve = ctx.presolve;
-    dense_simplex = ctx.dense_simplex }
+    dense_simplex = ctx.dense_simplex; certify = ctx.certify }
+
+(* Deterministic certificate summary for the [counters:] lines CI diffs:
+   verdict plus the max primal residual rounded to one significant digit
+   (full-precision residuals are engine-version noise, their magnitude is
+   the signal). *)
+let cert_str (r : Raha.Analysis.report) =
+  match r.Raha.Analysis.certificate with
+  | None -> "-"
+  | Some c ->
+    if not c.Milp.Certify.ok then "FAIL"
+    else if c.Milp.Certify.max_primal_residual = 0. then "ok@0"
+    else Printf.sprintf "ok@%.0e" c.Milp.Certify.max_primal_residual
 
 let analyze ctx sp topo paths envelope =
   Raha.Analysis.analyze ~options:(options ctx sp) topo paths envelope

@@ -699,7 +699,9 @@ let revised_bench ctx =
           and f0 = Milp.Simplex.cumulative_factorizations ()
           and e0 = Milp.Simplex.cumulative_eta_updates ()
           and wa0 = Milp.Simplex.cumulative_warm_attempts ()
-          and wh0 = Milp.Simplex.cumulative_warm_hits () in
+          and wh0 = Milp.Simplex.cumulative_warm_hits ()
+          and c0 = Milp.Certify.cumulative_checks ()
+          and cf0 = Milp.Certify.cumulative_failures () in
           let t0 = Unix.gettimeofday () in
           let r = Raha.Analysis.analyze ~options:opts topo paths env in
           let dt = Unix.gettimeofday () -. t0 in
@@ -713,10 +715,12 @@ let revised_bench ctx =
           row "%-14s %-8s %-12s %-8.2f %-7d %-8d %-6d %-5d %-5d %-9s@." name
             engine (deg_str r) dt r.Raha.Analysis.nodes pivots duals facts etas
             (if wa = 0 then "-" else Printf.sprintf "%d/%d" wh wa);
+          let cc = Milp.Certify.cumulative_checks () - c0
+          and cf = Milp.Certify.cumulative_failures () - cf0 in
           row
-            "counters: %s | %s | deg=%s nodes=%d pivots=%d dual=%d fact=%d        eta=%d warm=%d/%d@."
+            "counters: %s | %s | deg=%s nodes=%d pivots=%d dual=%d fact=%d        eta=%d warm=%d/%d certify=%d/%d cert=%s@."
             name engine (deg_str r) r.Raha.Analysis.nodes pivots duals facts
-            etas wh wa)
+            etas wh wa cf cc (cert_str r))
         [ true; false ])
     cells;
   row

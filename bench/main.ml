@@ -17,6 +17,7 @@ let () =
   let domains = ref (Domain.recommended_domain_count ()) in
   let quick = ref false and full = ref false and skip_micro = ref false in
   let no_presolve = ref false and dense_simplex = ref false in
+  let no_certify = ref false in
   let args =
     [
       ("--list", Arg.Set list, " list experiment ids");
@@ -30,6 +31,8 @@ let () =
       ("--no-presolve", Arg.Set no_presolve, " disable the MILP presolve reductions");
       ("--dense-simplex", Arg.Set dense_simplex,
        " use the legacy dense-tableau LP engine (no warm starts)");
+      ("--no-certify", Arg.Set no_certify,
+       " skip the independent solution audit of every solver answer");
     ]
   in
   Arg.parse (Arg.align args) (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
@@ -49,6 +52,7 @@ let () =
         domains = max 1 !domains;
         presolve = not !no_presolve;
         dense_simplex = !dense_simplex;
+        certify = not !no_certify;
       }
     in
     let selected = function

@@ -181,6 +181,13 @@ let dense_simplex_arg =
         ~doc:
           "Solve LP relaxations with the legacy dense-tableau simplex instead of               the revised engine (sparse LU basis, dual-simplex warm starts).               Slower; kept for differential debugging.")
 
+let no_certify_arg =
+  Arg.(
+    value & flag
+    & info [ "no-certify" ]
+        ~doc:
+          "Skip the independent solution audit (primal/integrality/objective/               bound residuals against the original model, dual certificates for               pure LPs). Certified runs downgrade unsound answers instead of               reporting them.")
+
 let clusters_arg =
   Arg.(value & opt int 1 & info [ "clusters" ] ~doc:"Clusters for Algorithm 1 (1 = off).")
 
@@ -229,8 +236,8 @@ type setup = {
 }
 
 let make_setup topo pairs num_pairs primary backup threshold max_failures ce slack
-    volume timeout domains no_presolve dense_simplex encoding objective
-    demand_file =
+    volume timeout domains no_presolve dense_simplex no_certify encoding
+    objective demand_file =
   let base =
     match demand_file with
     | Some path -> Traffic.Demand_io.load path
@@ -264,6 +271,7 @@ let make_setup topo pairs num_pairs primary backup threshold max_failures ce sla
       domains = max 1 domains;
       presolve = not no_presolve;
       dense_simplex;
+      certify = not no_certify;
     }
   in
   { topo; paths; envelope; options }
@@ -273,7 +281,7 @@ let setup_term =
     const make_setup $ topology_arg $ pairs_arg $ num_pairs_arg $ primary_arg
     $ backup_arg $ threshold_arg $ max_failures_arg $ ce_arg $ slack_arg $ volume_arg
     $ timeout_arg $ domains_arg $ no_presolve_arg $ dense_simplex_arg
-    $ encoding_arg $ objective_arg $ demand_file_arg)
+    $ no_certify_arg $ encoding_arg $ objective_arg $ demand_file_arg)
 
 (* --- subcommands ------------------------------------------------------- *)
 

@@ -13,6 +13,7 @@ type options = {
   warm_start : float array option;
   plunge_hints : (int * float) list list;
   engine : Simplex.engine;
+  sx_iters : int option;
 }
 
 let default =
@@ -27,6 +28,7 @@ let default =
     warm_start = None;
     plunge_hints = [];
     engine = Simplex.Revised;
+    sx_iters = None;
   }
 
 type outcome = Optimal | Feasible | No_incumbent | Infeasible | Unbounded
@@ -136,8 +138,14 @@ let solve ?(options = default) model =
   let nodes = ref 0 and simplex0 = Simplex.last_iterations () in
   let prep = Simplex.prepare model in
   let lp ?warm ~lb ~ub () =
-    Simplex.solve_prepared ~engine:options.engine ?warm ~lb ~ub prep
+    Simplex.solve_prepared ~engine:options.engine ?max_iters:options.sx_iters
+      ?warm ~lb ~ub prep
   in
+  (* Nodes whose LP hit the iteration budget are dropped from the search,
+     but their subtree is unexplored: remember the tightest parent bound
+     over all of them so the final bound and outcome stay sound. *)
+  let dropped = ref 0 in
+  let dropped_bound = ref neg_infinity in
   let total_nodes = Domain.DLS.get nodes_key in
   let incumbent = ref None in
   let incumbent_obj = ref neg_infinity in
@@ -168,10 +176,14 @@ let solve ?(options = default) model =
       (match fb with Some _ -> warm := fb | None -> ());
       r
     in
-    let rec go iters =
+    (* [go] consumes the LP result of the current bounds, so each fixing
+       costs exactly one LP solve: the result of re-solving after a fix
+       is threaded straight into the next recursion instead of being
+       discarded and recomputed. *)
+    let rec go iters res =
       if iters > budget then None
       else
-        match lp_step () with
+        match res with
         | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iter_limit -> None
         | Simplex.Optimal { obj; values } ->
           let bound = osign *. obj in
@@ -196,20 +208,20 @@ let solve ?(options = default) model =
               lb.(id) <- r;
               ub.(id) <- r;
               match lp_step () with
-              | Simplex.Optimal _ -> go (iters + 1)
+              | Simplex.Optimal _ as res' -> go (iters + 1) res'
               | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iter_limit ->
                 (* flip once *)
                 let r' = if r > values.(id) then Float.floor values.(id) else Float.ceil values.(id) in
                 if r' >= saved_lb -. 1e-9 && r' <= saved_ub +. 1e-9 && r' <> r then begin
                   lb.(id) <- r';
                   ub.(id) <- r';
-                  go (iters + 1)
+                  go (iters + 1) (lp_step ())
                 end
                 else None
             end
           end
     in
-    go 0
+    go 0 (lp_step ())
   in
   let try_plunge ?basis nlb nub =
     match plunge ?basis nlb nub with
@@ -284,9 +296,12 @@ let solve ?(options = default) model =
         match lp ?warm:node.pbasis ~lb:node.nlb ~ub:node.nub () with
         | Simplex.Infeasible, _ -> ()
         | Simplex.Iter_limit, _ ->
-          (* Treat as unresolved: keep the parent bound, re-queueing would
-             loop, so we conservatively drop the node but widen the gap
-             via the parent key. This is rare with the default budget. *)
+          (* Unresolved node: re-queueing would loop, so the node is
+             dropped — but its subtree may still hold the optimum, so its
+             parent bound must survive into the final bound and the
+             outcome may no longer claim optimality. *)
+          incr dropped;
+          if parent_key > !dropped_bound then dropped_bound := parent_key;
           if options.log then Log.warn (fun f -> f "simplex iteration limit at node %d" !nodes)
         | Simplex.Unbounded, _ ->
           if node.depth = 0 && !incumbent = None then status := `Unbounded_root
@@ -337,10 +352,14 @@ let solve ?(options = default) model =
   done;
   let elapsed = Unix.gettimeofday () -. t0 in
   let best_bound =
-    match (!status, Heap.best_key heap) with
-    | `Exhausted, _ | `Gap_closed, None -> !incumbent_obj
-    | _, Some k -> Float.max k !incumbent_obj
-    | _, None -> !incumbent_obj
+    let live =
+      match (!status, Heap.best_key heap) with
+      | `Exhausted, _ | `Gap_closed, None -> !incumbent_obj
+      | _, Some k -> Float.max k !incumbent_obj
+      | _, None -> !incumbent_obj
+    in
+    (* never report a bound below a dropped subtree's key *)
+    Float.max live !dropped_bound
   in
   let stats =
     { nodes = !nodes; simplex_iters = Simplex.last_iterations () - simplex0; elapsed }
@@ -350,8 +369,13 @@ let solve ?(options = default) model =
   match (!status, !incumbent) with
   | `Unbounded_root, _ -> mk Unbounded infinity infinity
   | (`Exhausted | `Gap_closed), Some _ ->
-    mk Optimal (osign *. !incumbent_obj) (osign *. best_bound)
-  | `Exhausted, None -> mk Infeasible nan nan
+    (* a dropped subtree may hold something better than the incumbent:
+       exhausting the heap no longer proves optimality *)
+    if !dropped > 0 then mk Feasible (osign *. !incumbent_obj) (osign *. best_bound)
+    else mk Optimal (osign *. !incumbent_obj) (osign *. best_bound)
+  | `Exhausted, None ->
+    if !dropped > 0 then mk No_incumbent nan (osign *. best_bound)
+    else mk Infeasible nan nan
   | `Limit, Some _ -> mk Feasible (osign *. !incumbent_obj) (osign *. best_bound)
   | (`Limit | `Gap_closed), None -> mk No_incumbent nan (osign *. best_bound)
   | `Running, _ -> assert false

@@ -26,6 +26,12 @@ type options = {
       (** LP kernel for node relaxations; default {!Simplex.Revised}.
           Under the revised engine every child node warm-starts from its
           parent's optimal basis via the dual simplex. *)
+  sx_iters : int option;
+      (** Per-LP simplex iteration budget; default [None] (the engine's
+          own default). A node whose LP exhausts this budget is dropped
+          from the search with its parent bound folded into the final
+          bound, and the outcome degrades [Optimal] -> [Feasible]
+          (exposed mainly so tests can force the degradation path). *)
 }
 
 val default : options
@@ -43,7 +49,10 @@ val cumulative_nodes : unit -> int
 
 type outcome =
   | Optimal  (** incumbent proven optimal within the gap *)
-  | Feasible  (** limits hit with an incumbent in hand *)
+  | Feasible
+      (** limits hit with an incumbent in hand, or a node's LP hit its
+          iteration budget and was dropped — either way an unexplored
+          subtree remains, covered by [bound] *)
   | No_incumbent  (** limits hit before any incumbent was found *)
   | Infeasible
   | Unbounded

@@ -14,7 +14,24 @@ let factorizations = key ()
 let eta_updates = key ()
 let warm_attempts = key ()
 let warm_hits = key ()
+let certify_checks = key ()
+let certify_failures = key ()
 
 let incr k = incr (Domain.DLS.get k)
 let add k n = Domain.DLS.get k := !(Domain.DLS.get k) + n
 let read k () = !(Domain.DLS.get k)
+
+(* Float high-water marks, same domain-local discipline as the int
+   counters. Maxes (unlike sums) cannot be delta-aggregated by a pool,
+   so these are read directly — diagnostics, not pool counters. *)
+
+let fkey () = Domain.DLS.new_key (fun () -> ref 0.)
+
+let certify_max_primal_residual = fkey ()
+let certify_max_dual_gap = fkey ()
+
+let fmax k v =
+  let r = Domain.DLS.get k in
+  if v > !r then r := v
+
+let fread k () = !(Domain.DLS.get k)

@@ -1,13 +1,20 @@
+let log_src = Logs.Src.create "milp.solver" ~doc:"solver facade"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 type options = {
   time_limit : float;
   max_nodes : int;
+  abs_gap : float;
   rel_gap : float;
+  int_tol : float;
   log : bool;
   branch_priority : int -> int;
   warm_start : float array option;
   plunge_hints : (int * float) list list;
   presolve : bool;
   dense_simplex : bool;
+  certify : bool;
 }
 
 (* The values shared with branch-and-bound are derived from
@@ -17,13 +24,16 @@ let default_options =
   {
     time_limit = d.Branch_bound.time_limit;
     max_nodes = d.Branch_bound.max_nodes;
+    abs_gap = d.Branch_bound.abs_gap;
     rel_gap = d.Branch_bound.rel_gap;
+    int_tol = d.Branch_bound.int_tol;
     log = d.Branch_bound.log;
     branch_priority = d.Branch_bound.branch_priority;
     warm_start = d.Branch_bound.warm_start;
     plunge_hints = d.Branch_bound.plunge_hints;
     presolve = true;
     dense_simplex = false;
+    certify = true;
   }
 
 let engine_of options =
@@ -33,12 +43,20 @@ let with_time_limit t = { default_options with time_limit = t }
 
 type status = Optimal | Feasible | Infeasible | Unbounded | Unknown
 
+let pp_status ppf = function
+  | Optimal -> Format.pp_print_string ppf "optimal"
+  | Feasible -> Format.pp_print_string ppf "feasible"
+  | Infeasible -> Format.pp_print_string ppf "infeasible"
+  | Unbounded -> Format.pp_print_string ppf "unbounded"
+  | Unknown -> Format.pp_print_string ppf "unknown"
+
 type solution = {
   status : status;
   obj : float;
   bound : float;
   values : float array;
   statuses : Simplex.vstat array;
+  certificate : Certify.t option;
   nodes : int;
   elapsed : float;
 }
@@ -47,7 +65,7 @@ type solution = {
    so elapsed times include any reduction work done by the caller. *)
 let solve_direct ~options ~t0 model =
   let finish ?(statuses = [||]) status obj bound values nodes =
-    { status; obj; bound; values; statuses; nodes;
+    { status; obj; bound; values; statuses; certificate = None; nodes;
       elapsed = Unix.gettimeofday () -. t0 }
   in
   if Model.num_int_vars model = 0 then
@@ -66,7 +84,9 @@ let solve_direct ~options ~t0 model =
         Branch_bound.default with
         max_nodes = options.max_nodes;
         time_limit = options.time_limit;
+        abs_gap = options.abs_gap;
         rel_gap = options.rel_gap;
+        int_tol = options.int_tol;
         log = options.log;
         branch_priority = options.branch_priority;
         warm_start = options.warm_start;
@@ -87,14 +107,53 @@ let solve_direct ~options ~t0 model =
       r.Branch_bound.stats.Branch_bound.nodes
   end
 
-let solve ?(options = default_options) model =
+(* Re-validate a claimed solution against the original, pre-presolve
+   model and degrade the status when the certificate fails: a bad point
+   means nothing usable survives (Unknown), while a bad bound, gap or
+   dual certificate invalidates only the optimality claim (Feasible). *)
+let certify_solution ~options model sol =
+  match sol.status with
+  | Infeasible | Unbounded | Unknown -> sol
+  | Optimal | Feasible ->
+    let tols =
+      {
+        Certify.default_tolerances with
+        int_tol =
+          Float.max Certify.default_tolerances.Certify.int_tol
+            (10. *. options.int_tol);
+        abs_gap = options.abs_gap;
+        rel_gap = options.rel_gap;
+      }
+    in
+    let cert =
+      Certify.check ~tols ~optimal:(sol.status = Optimal) ~model ~obj:sol.obj
+        ~bound:sol.bound ~values:sol.values ~statuses:sol.statuses ()
+    in
+    if cert.Certify.ok then { sol with certificate = Some cert }
+    else begin
+      let status =
+        if not cert.Certify.point_ok then Unknown
+        else if sol.status = Optimal then Feasible
+        else sol.status
+      in
+      Log.warn (fun f ->
+          f "%s: certificate failed, downgrading %a -> %a (%a)"
+            (Model.name model) pp_status sol.status pp_status status Certify.pp
+            cert);
+      { sol with status; certificate = Some cert }
+    end
+
+let solve ?certify ?(options = default_options) model =
   let t0 = Unix.gettimeofday () in
-  if not options.presolve then solve_direct ~options ~t0 model
+  let certify = Option.value certify ~default:options.certify in
+  let finish sol = if certify then certify_solution ~options model sol else sol in
+  if not options.presolve then finish (solve_direct ~options ~t0 model)
   else
     match Presolve.presolve model with
     | Presolve.Infeasible _ ->
       { status = Infeasible; obj = nan; bound = nan; values = [||];
-        statuses = [||]; nodes = 0; elapsed = Unix.gettimeofday () -. t0 }
+        statuses = [||]; certificate = None; nodes = 0;
+        elapsed = Unix.gettimeofday () -. t0 }
     | Presolve.Reduced { model = rm; post; stats = _ } ->
       (* Caller-supplied vectors and priorities speak original ids;
          translate them into the reduced space before solving, and lift
@@ -117,16 +176,18 @@ let solve ?(options = default_options) model =
       let sol = solve_direct ~options ~t0 rm in
       (* lift the point and any basis statuses back to original ids; a
          presolve-fixed variable sits at its collapsed bounds, so
-         At_lower is its natural status *)
-      {
-        sol with
-        values = Postsolve.restore post sol.values;
-        statuses =
-          (if Array.length sol.statuses = 0 then [||]
-           else
-             Postsolve.restore_statuses post ~fill:Simplex.At_lower
-               sol.statuses);
-      }
+         At_lower is its natural status. Certification runs after the
+         lift, against the original model. *)
+      finish
+        {
+          sol with
+          values = Postsolve.restore post sol.values;
+          statuses =
+            (if Array.length sol.statuses = 0 then [||]
+             else
+               Postsolve.restore_statuses post ~fill:Simplex.At_lower
+                 sol.statuses);
+        }
 
 let value sol (v : Model.var) =
   if Array.length sol.values = 0 then nan else sol.values.(v.vid)
@@ -147,11 +208,6 @@ let stats_counters =
     ("presolve-rows", Presolve.cumulative_rows_removed);
     ("presolve-cols", Presolve.cumulative_cols_fixed);
     ("presolve-bigm", Presolve.cumulative_big_ms_tightened);
+    ("certify-checks", Certify.cumulative_checks);
+    ("certify-failures", Certify.cumulative_failures);
   ]
-
-let pp_status ppf = function
-  | Optimal -> Format.pp_print_string ppf "optimal"
-  | Feasible -> Format.pp_print_string ppf "feasible"
-  | Infeasible -> Format.pp_print_string ppf "infeasible"
-  | Unbounded -> Format.pp_print_string ppf "unbounded"
-  | Unknown -> Format.pp_print_string ppf "unknown"

@@ -7,7 +7,13 @@
 type options = {
   time_limit : float;  (** seconds of wall clock; default [infinity] *)
   max_nodes : int;
+  abs_gap : float;
+      (** absolute optimality gap, shared with branch-and-bound and the
+          certifier (derived from {!Branch_bound.default}) *)
   rel_gap : float;
+  int_tol : float;
+      (** integrality tolerance, shared with branch-and-bound and the
+          certifier (derived from {!Branch_bound.default}) *)
   log : bool;
   branch_priority : int -> int;
   warm_start : float array option;
@@ -22,6 +28,11 @@ type options = {
       (** solve LP relaxations with the legacy dense tableau
           ({!Dense_simplex}) instead of the revised engine (default
           [false]); forfeits warm starts and basis statuses *)
+  certify : bool;
+      (** independently re-validate every answer against the original
+          model via {!Certify} (default [true]; [--no-certify] at the
+          CLI). A failed certificate downgrades the status — see
+          {!solve} — rather than raising. *)
 }
 
 (** Defaults shared with branch-and-bound are derived from
@@ -46,11 +57,21 @@ type solution = {
       (** optimal-basis status per variable (original indexing, presolve
           fixings filled with [At_lower]); empty for MILPs, non-optimal
           outcomes, and the dense engine *)
+  certificate : Certify.t option;
+      (** the certification verdict and residuals; [None] when
+          certification is off or the outcome carries no point *)
   nodes : int;
   elapsed : float;
 }
 
-val solve : ?options:options -> Model.t -> solution
+(** [solve model] solves and — unless [?certify] (or [options.certify])
+    is [false] — re-validates the answer against the original model with
+    {!Certify.check}. A failed certificate never raises: a bad claimed
+    point degrades the status to [Unknown], a bad bound / open gap /
+    failed dual certificate degrades [Optimal] to [Feasible], and the
+    diagnostics land in [certificate], the [milp.solver]/[milp.certify]
+    log sources and the [certify-failures] counter. *)
+val solve : ?certify:bool -> ?options:options -> Model.t -> solution
 
 (** [value sol v] reads variable [v] from the solution point. *)
 val value : solution -> Model.var -> float
@@ -64,10 +85,11 @@ val has_point : solution -> bool
 (** Domain-local cumulative counter hooks — simplex pivots ([simplex],
     primal + dual across both engines), revised-engine internals
     ([dual-pivots], [factorizations], [eta-updates], [warm-attempts],
-    [warm-hits]), branch-and-bound nodes ([bb-nodes]) and presolve
-    reductions ([presolve-rows]/[presolve-cols]/[presolve-bigm]) — in the shape
-    [Parallel.Pool.create ~counters] expects; pass this to a pool to have
-    solver work aggregated into its one-line stats summaries. *)
+    [warm-hits]), branch-and-bound nodes ([bb-nodes]), presolve
+    reductions ([presolve-rows]/[presolve-cols]/[presolve-bigm]) and
+    certification verdicts ([certify-checks]/[certify-failures]) — in the
+    shape [Parallel.Pool.create ~counters] expects; pass this to a pool
+    to have solver work aggregated into its one-line stats summaries. *)
 val stats_counters : (string * (unit -> int)) list
 
 val pp_status : Format.formatter -> status -> unit

@@ -8,6 +8,7 @@ type options = {
   domains : int;
   presolve : bool;
   dense_simplex : bool;
+  certify : bool;
 }
 
 let default_options =
@@ -21,6 +22,7 @@ let default_options =
     domains = 1;
     presolve = true;
     dense_simplex = false;
+    certify = true;
   }
 
 let with_timeout t = { default_options with time_limit = t }
@@ -37,6 +39,7 @@ type report = {
   healthy_performance : float;
   failed_performance : float;
   per_pair : ((int * int) * float * float) list;
+  certificate : Milp.Certify.t option;
   elapsed : float;
   nodes : int;
 }
@@ -146,6 +149,7 @@ let analyze ?(options = default_options) topo paths envelope =
       plunge_hints = hints;
       presolve = options.presolve;
       dense_simplex = options.dense_simplex;
+      certify = options.certify;
     }
   in
   let sol = Milp.Solver.solve ~options:solver_options built.Bilevel.model in
@@ -241,6 +245,7 @@ let analyze ?(options = default_options) topo paths envelope =
     healthy_performance;
     failed_performance;
     per_pair;
+    certificate = sol.Milp.Solver.certificate;
     elapsed = sol.Milp.Solver.elapsed;
     nodes = sol.Milp.Solver.nodes;
   }

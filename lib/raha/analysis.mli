@@ -32,6 +32,12 @@ type options = {
           the revised simplex (no sparse factorization, no dual-simplex
           warm starts); default [false]. Enable with the CLI/bench
           [--dense-simplex] flags. *)
+  certify : bool;
+      (** independently re-validate the solver's answer against the
+          original model ({!Milp.Certify}); a failed certificate
+          downgrades [status] instead of reporting an unsound result.
+          Default [true]; disable with the CLI/bench [--no-certify]
+          flags. *)
 }
 
 val default_options : options
@@ -54,6 +60,10 @@ type report = {
       (** per (src, dst): flow carried by the healthy network and by the
           failed network at the worst-case demand — the §9 "isolate and
           explain" breakdown. Empty when no incumbent exists. *)
+  certificate : Milp.Certify.t option;
+      (** the solution-audit verdict and residuals ({!Milp.Certify});
+          [None] when certification is disabled or the outcome carries
+          no point *)
   elapsed : float;
   nodes : int;
 }

@@ -9,8 +9,8 @@ let make ~id ~src ~dst links =
   List.iter
     (fun l ->
       if l.link_capacity <= 0. then invalid_arg "Lag.make: non-positive capacity";
-      if l.fail_prob < 0. || l.fail_prob >= 1. then
-        invalid_arg "Lag.make: fail_prob outside [0, 1)")
+      if l.fail_prob < 0. || l.fail_prob > 1. then
+        invalid_arg "Lag.make: fail_prob outside [0, 1]")
     links;
   { lag_id = id; src; dst; links = Array.of_list links }
 

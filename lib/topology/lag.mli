@@ -7,7 +7,10 @@
 
 type link = {
   link_capacity : float;  (** Gbps (or any consistent unit) *)
-  fail_prob : float;  (** steady-state probability the link is down *)
+  fail_prob : float;
+      (** steady-state probability the link is down; [1.] models an
+          always-down link (e.g. a renewal-reward estimate over a
+          telemetry window the link spent entirely down) *)
 }
 
 type t = {
@@ -19,7 +22,7 @@ type t = {
 
 (** [make ~id ~src ~dst links] validates and builds a LAG.
     @raise Invalid_argument on self-loops, empty bundles, non-positive
-    capacities or probabilities outside [0, 1). *)
+    capacities or probabilities outside [0, 1]. *)
 val make : id:int -> src:int -> dst:int -> link list -> t
 
 (** [uniform ~id ~src ~dst ~n ~capacity ~fail_prob] builds a LAG of [n]

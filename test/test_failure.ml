@@ -166,6 +166,63 @@ let test_srlg () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "overlap rejected"
 
+let test_always_down_links () =
+  (* A link with fail_prob = 1 used to make per_link_cost return +inf
+     (log 1 - log1p(-1)), which poisoned the greedy running sum in
+     max_simultaneous_failures with inf/nan. Always-down links are now
+     mandatory members of every positive-probability scenario. *)
+  let t =
+    Wan.Topology.create ~name:"alwaysdown" ~num_nodes:3
+      [
+        Wan.Lag.uniform ~id:0 ~src:0 ~dst:1 ~n:1 ~capacity:10. ~fail_prob:1.0;
+        Wan.Lag.uniform ~id:1 ~src:1 ~dst:2 ~n:2 ~capacity:10. ~fail_prob:0.01;
+      ]
+  in
+  let costs = Failure.Probability.per_link_cost t in
+  List.iter
+    (fun ((lag, _), c) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "cost of lag %d not nan" lag)
+        false (Float.is_nan c);
+      if lag = 0 then
+        Alcotest.(check bool) "always-down cost is +inf" true (c = Float.infinity))
+    costs;
+  (* all-up has probability zero with an always-down link present *)
+  Alcotest.(check bool) "all-up log prob -inf" true
+    (Failure.Probability.log_prob_all_up t = Float.neg_infinity);
+  let n, s = Failure.Probability.max_simultaneous_failures t ~threshold:1e-3 in
+  Alcotest.(check bool) "down link is mandatory" true
+    (Failure.Scenario.is_down s ~lag:0 ~link:0);
+  check_int "count matches scenario" n (Failure.Scenario.num_failed s);
+  Alcotest.(check bool) "count includes mandatory failure" true (n >= 1);
+  Alcotest.(check bool) "scenario above threshold" true
+    (Failure.Scenario.prob t s >= 1e-3)
+
+let test_threshold_one_boundary () =
+  (* threshold = 1.0 is the documented edge of the valid range *)
+  let n, s = Failure.Probability.max_simultaneous_failures fig1 ~threshold:1.0 in
+  check_int "no fig1 scenario has probability 1" 0 n;
+  check_int "empty scenario" 0 (Failure.Scenario.num_failed s);
+  (* with an always-down link and deterministic companions, the mandatory
+     scenario itself has probability exactly 1 *)
+  let t =
+    Wan.Topology.create ~name:"det" ~num_nodes:3
+      [
+        Wan.Lag.uniform ~id:0 ~src:0 ~dst:1 ~n:1 ~capacity:10. ~fail_prob:1.0;
+        Wan.Lag.uniform ~id:1 ~src:1 ~dst:2 ~n:1 ~capacity:10. ~fail_prob:0.0;
+      ]
+  in
+  let n1, s1 = Failure.Probability.max_simultaneous_failures t ~threshold:1.0 in
+  check_int "mandatory link counted" 1 n1;
+  check_float "probability exactly 1" 1. (Failure.Scenario.prob t s1);
+  (* out-of-range thresholds still rejected *)
+  (match Failure.Probability.max_simultaneous_failures fig1 ~threshold:1.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "threshold > 1 accepted");
+  match Failure.Probability.max_simultaneous_failures fig1 ~threshold:0. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "threshold 0 accepted"
+
 (* qcheck: greedy max_simultaneous_failures is consistent with enumeration
    on tiny topologies *)
 let prop_greedy_matches_enumeration =
@@ -286,6 +343,8 @@ let suite =
     ("scenario partial lag", `Quick, test_scenario_partial_lag);
     ("scenario probability", `Quick, test_scenario_prob);
     ("max simultaneous failures", `Quick, test_max_simultaneous);
+    ("always-down links", `Quick, test_always_down_links);
+    ("threshold = 1 boundary", `Quick, test_threshold_one_boundary);
     ("renewal estimate", `Quick, test_renewal_estimate);
     ("renewal validation", `Quick, test_renewal_validation);
     ("trace estimation converges", `Quick, test_trace_estimation_converges);

@@ -13,5 +13,6 @@ let () =
       ("extensions", Test_extensions.suite);
       ("simplex diff", Test_simplex_diff.suite);
       ("revised simplex", Test_revised.suite);
+      ("certify", Test_certify.suite);
       ("parallel", Test_parallel.suite);
     ]

@@ -45,14 +45,30 @@ let random_milp case =
 
 (* Differential: the revised and dense engines must agree on status and
    objective across random MILPs, through the full solver stack
-   (presolve + branch-and-bound + warm starts on the revised side). *)
+   (presolve + branch-and-bound + warm starts on the revised side).
+   Certification is on (the solver default), so every answer is also
+   audited against the original model — a certificate failure would
+   downgrade the status and break the status comparison below; the
+   explicit per-solve check makes the audit verdict part of the
+   differential contract. *)
 let test_differential () =
   for case = 0 to 63 do
     let mdl = random_milp case in
     let solve dense_simplex =
-      Milp.Solver.solve
-        ~options:{ Milp.Solver.default_options with dense_simplex }
-        mdl
+      let sol =
+        Milp.Solver.solve
+          ~options:{ Milp.Solver.default_options with dense_simplex }
+          mdl
+      in
+      (match (Milp.Solver.has_point sol, sol.Milp.Solver.certificate) with
+      | true, None -> Alcotest.failf "case %d: no certificate issued" case
+      | true, Some c ->
+        if not c.Milp.Certify.ok then
+          Alcotest.failf "case %d (%s): certificate failed: %s" case
+            (if dense_simplex then "dense" else "revised")
+            (String.concat "; " c.Milp.Certify.failures)
+      | false, _ -> ());
+      sol
     in
     let r = solve false and d = solve true in
     if r.Milp.Solver.status <> d.Milp.Solver.status then

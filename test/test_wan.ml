@@ -25,7 +25,10 @@ let test_lag_validation () =
   bad (fun () -> ignore (Wan.Lag.make ~id:0 ~src:1 ~dst:1 [ { Wan.Lag.link_capacity = 1.; fail_prob = 0. } ]));
   bad (fun () -> ignore (Wan.Lag.make ~id:0 ~src:0 ~dst:1 []));
   bad (fun () -> ignore (Wan.Lag.make ~id:0 ~src:0 ~dst:1 [ { Wan.Lag.link_capacity = -1.; fail_prob = 0. } ]));
-  bad (fun () -> ignore (Wan.Lag.make ~id:0 ~src:0 ~dst:1 [ { Wan.Lag.link_capacity = 1.; fail_prob = 1. } ]))
+  bad (fun () -> ignore (Wan.Lag.make ~id:0 ~src:0 ~dst:1 [ { Wan.Lag.link_capacity = 1.; fail_prob = 1.5 } ]));
+  bad (fun () -> ignore (Wan.Lag.make ~id:0 ~src:0 ~dst:1 [ { Wan.Lag.link_capacity = 1.; fail_prob = -0.1 } ]));
+  (* fail_prob = 1 is legal: an always-down link *)
+  ignore (Wan.Lag.make ~id:0 ~src:0 ~dst:1 [ { Wan.Lag.link_capacity = 1.; fail_prob = 1. } ])
 
 let test_topology_basics () =
   let t = Wan.Generators.fig1 () in
