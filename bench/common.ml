@@ -13,11 +13,13 @@ type ctx = {
   presolve : bool;  (** MILP presolve for every solve ([--no-presolve]) *)
   dense_simplex : bool;  (** legacy dense LP engine ([--dense-simplex]) *)
   certify : bool;  (** independent solution audit ([--no-certify]) *)
+  cuts : bool;  (** cutting planes for every MILP solve ([--no-cuts]) *)
+  cut_rounds : int option;  (** root separation rounds ([--cut-rounds]) *)
 }
 
 let default_ctx =
   { budget = 10.; full = false; quick = false; domains = 1; presolve = true;
-    dense_simplex = false; certify = true }
+    dense_simplex = false; certify = true; cuts = true; cut_rounds = None }
 
 let printf = Format.printf
 
@@ -62,9 +64,16 @@ let spec ?(objective = Te.Formulation.Total_flow) ?threshold ?max_failures ?(ce 
     encoding = Raha.Bilevel.Strong_duality { levels };
   }
 
+let cut_options ctx =
+  let base = if ctx.cuts then Milp.Cuts.default else Milp.Cuts.disabled in
+  match ctx.cut_rounds with
+  | Some r -> { base with Milp.Cuts.root_rounds = max 0 r }
+  | None -> base
+
 let options ctx spec =
   { (Raha.Analysis.with_timeout ctx.budget) with spec; presolve = ctx.presolve;
-    dense_simplex = ctx.dense_simplex; certify = ctx.certify }
+    dense_simplex = ctx.dense_simplex; certify = ctx.certify;
+    cuts = cut_options ctx }
 
 (* Deterministic certificate summary for the [counters:] lines CI diffs:
    verdict plus the max primal residual rounded to one significant digit

@@ -663,7 +663,8 @@ let presolve_bench ctx =
 let revised_bench ctx =
   section ctx ~id:"revised"
     ~paper:"revised simplex / dual warm-start ablation (DESIGN.md §9)"
-    ~config:"fig1 worked example (sd:5, kkt) + africa-like WAN (8 nodes, sd:3)";
+    ~config:
+      "fig1 worked example (sd:5, kkt) + africa-like WAN (8 nodes, sd:3); cuts disabled (pure engine ablation)";
   let cells =
     let f1 = Wan.Generators.fig1 () in
     let f1_paths = paths_of ~primary:2 ~backup:0 f1 [ (1, 3); (2, 3) ] in
@@ -691,8 +692,15 @@ let revised_bench ctx =
     (fun (name, sp, topo, paths, env) ->
       List.iter
         (fun dense ->
+          (* fresh counters per cell: residual high-water marks and the
+             cumulative cut counters must not leak across cells *)
+          Milp.Lp_stats.reset_all ();
+          (* cuts off in both arms so this stays a pure engine ablation
+             (the cut ablation is the "cuts" experiment) and the
+             BENCH_revised.json baselines remain comparable *)
           let opts =
-            { (options ctx sp) with Raha.Analysis.dense_simplex = dense }
+            { (options ctx sp) with Raha.Analysis.dense_simplex = dense;
+              cuts = Milp.Cuts.disabled }
           in
           let p0 = Milp.Simplex.cumulative_iterations ()
           and d0 = Milp.Simplex.cumulative_dual_pivots ()
@@ -725,6 +733,86 @@ let revised_bench ctx =
     cells;
   row
     "(warm column is dual-simplex hits/attempts; identical node counts with      fewer pivots show the per-node saving)@."
+
+(* ----------------------------------------------------------------- cuts *)
+
+(* Cutting-plane ablation: the same cells as the revised-simplex
+   experiment, solved with the cut subsystem enabled vs disabled (the
+   revised engine in both arms). Cuts are globally valid tightenings of
+   the LP relaxation, so the two arms must report bit-identical
+   degradations while branch-and-bound visits fewer nodes with cuts on.
+   The [counters:] lines add the cut-pool counters — gen (candidates
+   generated), app (cuts admitted to the pool), pruned (aged out or
+   removed by audit), aud (incumbent-audit failures, must stay 0) — all
+   deterministic, so CI runs the experiment twice and diffs them. The
+   measured rows are recorded in BENCH_cuts.json. *)
+let cuts_bench ctx =
+  section ctx ~id:"cuts"
+    ~paper:"cutting-plane ablation: Gomory/cover/clique pool (DESIGN.md §11)"
+    ~config:
+      "fig1 worked example (sd:5, kkt) + africa-like WAN (8 nodes, sd:3); revised engine";
+  let cells =
+    let f1 = Wan.Generators.fig1 () in
+    let f1_paths = paths_of ~primary:2 ~backup:0 f1 [ (1, 3); (2, 3) ] in
+    let f1_env =
+      Traffic.Envelope.around ~slack:0.5
+        (Traffic.Demand.of_list [ ((1, 3), 12.); ((2, 3), 10.) ])
+    in
+    let sp5 = spec ~max_failures:1 ~levels:5 () in
+    let topo, pairs = wan_small () in
+    let paths = paths_of topo pairs in
+    let env = Traffic.Envelope.from_zero ~slack:0.3 (base_demand pairs) in
+    let base =
+      [
+        ("fig1 / sd:5", sp5, f1, f1_paths, f1_env);
+        ("fig1 / kkt", { sp5 with Raha.Bilevel.encoding = Raha.Bilevel.Kkt }, f1,
+         f1_paths, f1_env);
+      ]
+    in
+    if ctx.quick then base
+    else base @ [ ("wan8 / sd:3", spec ~threshold:1e-5 (), topo, paths, env) ]
+  in
+  row "%-14s %-5s %-12s %-8s %-7s %-8s %-6s %-5s %-7s %-5s %-9s@." "cell"
+    "cuts" "degradation" "time(s)" "nodes" "pivots" "gen" "app" "pruned" "aud"
+    "warm";
+  List.iter
+    (fun (name, sp, topo, paths, env) ->
+      List.iter
+        (fun cuts_on ->
+          (* fresh counters per cell (Lp_stats.reset_all): the raw
+             cumulative reads below are then per-cell values *)
+          Milp.Lp_stats.reset_all ();
+          let copts =
+            if cuts_on then cut_options { ctx with cuts = true }
+            else Milp.Cuts.disabled
+          in
+          let opts = { (options ctx sp) with Raha.Analysis.cuts = copts } in
+          let t0 = Unix.gettimeofday () in
+          let r = Raha.Analysis.analyze ~options:opts topo paths env in
+          let dt = Unix.gettimeofday () -. t0 in
+          let pivots = Milp.Simplex.cumulative_iterations ()
+          and duals = Milp.Simplex.cumulative_dual_pivots ()
+          and wa = Milp.Simplex.cumulative_warm_attempts ()
+          and wh = Milp.Simplex.cumulative_warm_hits ()
+          and gen = Milp.Cuts.cumulative_generated ()
+          and app = Milp.Cuts.cumulative_applied ()
+          and pruned = Milp.Cuts.cumulative_pruned ()
+          and aud = Milp.Cuts.cumulative_audit_failures ()
+          and cc = Milp.Certify.cumulative_checks ()
+          and cf = Milp.Certify.cumulative_failures () in
+          let arm = if cuts_on then "on" else "off" in
+          row "%-14s %-5s %-12s %-8.2f %-7d %-8d %-6d %-5d %-7d %-5d %-9s@."
+            name arm (deg_str r) dt r.Raha.Analysis.nodes pivots gen app pruned
+            aud
+            (if wa = 0 then "-" else Printf.sprintf "%d/%d" wh wa);
+          row
+            "counters: %s | cuts=%s | deg=%s nodes=%d pivots=%d dual=%d warm=%d/%d gen=%d app=%d pruned=%d aud=%d certify=%d/%d cert=%s@."
+            name arm (deg_str r) r.Raha.Analysis.nodes pivots duals wh wa gen
+            app pruned aud cf cc (cert_str r))
+        [ true; false ])
+    cells;
+  row
+    "(bit-identical degradations with fewer nodes when cuts are on; aud      counts incumbent-audit failures and must be 0)@."
 
 (* ---------------------------------------------------------- monte carlo *)
 
@@ -828,6 +916,7 @@ let all : (string * string * (ctx -> unit)) list =
     ("ablation", "strong-duality vs KKT encoding (design choice)", ablation);
     ("presolve", "MILP presolve / big-M tightening on vs off", presolve_bench);
     ("revised", "revised simplex + dual warm starts vs dense tableau", revised_bench);
+    ("cuts", "cutting planes (Gomory/cover/clique pool) on vs off", cuts_bench);
     ("montecarlo", "Monte Carlo sampling vs Raha's worst case (§1)", montecarlo);
     ("ffc", "FFC-protected network still degrades beyond k (§2.2)", ffc);
   ]

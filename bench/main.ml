@@ -18,6 +18,7 @@ let () =
   let quick = ref false and full = ref false and skip_micro = ref false in
   let no_presolve = ref false and dense_simplex = ref false in
   let no_certify = ref false in
+  let no_cuts = ref false and cut_rounds = ref 0 and cut_rounds_set = ref false in
   let args =
     [
       ("--list", Arg.Set list, " list experiment ids");
@@ -33,6 +34,11 @@ let () =
        " use the legacy dense-tableau LP engine (no warm starts)");
       ("--no-certify", Arg.Set no_certify,
        " skip the independent solution audit of every solver answer");
+      ("--no-cuts", Arg.Set no_cuts,
+       " disable the cutting-plane subsystem (Gomory/cover/clique pool)");
+      ("--cut-rounds",
+       Arg.Int (fun n -> cut_rounds := n; cut_rounds_set := true),
+       "N cut separation rounds at the branch-and-bound root (default 6)");
     ]
   in
   Arg.parse (Arg.align args) (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
@@ -53,8 +59,20 @@ let () =
         presolve = not !no_presolve;
         dense_simplex = !dense_simplex;
         certify = not !no_certify;
+        cuts = not !no_cuts;
+        cut_rounds = (if !cut_rounds_set then Some !cut_rounds else None);
       }
     in
+    (* an unknown id in --only would otherwise be silently skipped *)
+    let known = List.map (fun (id, _, _) -> id) Experiments.all @ [ "micro" ] in
+    (match List.filter (fun id -> not (List.mem id known)) !only with
+    | [] -> ()
+    | unknown ->
+      Format.eprintf "unknown experiment id%s: %s@.available ids: %s@."
+        (if List.length unknown > 1 then "s" else "")
+        (String.concat ", " unknown)
+        (String.concat ", " known);
+      exit 2);
     let selected = function
       | [] -> fun _ -> true
       | ids -> fun id -> List.mem id ids

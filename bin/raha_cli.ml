@@ -188,6 +188,21 @@ let no_certify_arg =
         ~doc:
           "Skip the independent solution audit (primal/integrality/objective/               bound residuals against the original model, dual certificates for               pure LPs). Certified runs downgrade unsound answers instead of               reporting them.")
 
+let no_cuts_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cuts" ]
+        ~doc:
+          "Disable the cutting-plane subsystem (Gomory mixed-integer, knapsack               cover and clique cuts over a managed pool) and run the cut-free               branch-and-bound search.")
+
+let cut_rounds_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cut-rounds" ] ~docv:"N"
+        ~doc:
+          "Number of cut separation rounds at the branch-and-bound root               (default 6). Ignored under $(b,--no-cuts).")
+
 let clusters_arg =
   Arg.(value & opt int 1 & info [ "clusters" ] ~doc:"Clusters for Algorithm 1 (1 = off).")
 
@@ -236,8 +251,8 @@ type setup = {
 }
 
 let make_setup topo pairs num_pairs primary backup threshold max_failures ce slack
-    volume timeout domains no_presolve dense_simplex no_certify encoding
-    objective demand_file =
+    volume timeout domains no_presolve dense_simplex no_certify no_cuts
+    cut_rounds encoding objective demand_file =
   let base =
     match demand_file with
     | Some path -> Traffic.Demand_io.load path
@@ -264,6 +279,12 @@ let make_setup topo pairs num_pairs primary backup threshold max_failures ce sla
       objective;
     }
   in
+  let cuts =
+    let base = if no_cuts then Milp.Cuts.disabled else Milp.Cuts.default in
+    match cut_rounds with
+    | Some r -> { base with Milp.Cuts.root_rounds = max 0 r }
+    | None -> base
+  in
   let options =
     {
       (Raha.Analysis.with_timeout timeout) with
@@ -272,6 +293,7 @@ let make_setup topo pairs num_pairs primary backup threshold max_failures ce sla
       presolve = not no_presolve;
       dense_simplex;
       certify = not no_certify;
+      cuts;
     }
   in
   { topo; paths; envelope; options }
@@ -281,7 +303,8 @@ let setup_term =
     const make_setup $ topology_arg $ pairs_arg $ num_pairs_arg $ primary_arg
     $ backup_arg $ threshold_arg $ max_failures_arg $ ce_arg $ slack_arg $ volume_arg
     $ timeout_arg $ domains_arg $ no_presolve_arg $ dense_simplex_arg
-    $ no_certify_arg $ encoding_arg $ objective_arg $ demand_file_arg)
+    $ no_certify_arg $ no_cuts_arg $ cut_rounds_arg $ encoding_arg
+    $ objective_arg $ demand_file_arg)
 
 (* --- subcommands ------------------------------------------------------- *)
 

@@ -14,6 +14,7 @@ type options = {
   plunge_hints : (int * float) list list;
   engine : Simplex.engine;
   sx_iters : int option;
+  cuts : Cuts.options;
 }
 
 let default =
@@ -29,6 +30,7 @@ let default =
     plunge_hints = [];
     engine = Simplex.Revised;
     sx_iters = None;
+    cuts = Cuts.default;
   }
 
 type outcome = Optimal | Feasible | No_incumbent | Infeasible | Unbounded
@@ -56,6 +58,12 @@ type node = {
   pbasis : Simplex.basis option;
       (* the parent's optimal basis — bound changes keep it dual
          feasible, so the child LP warm-starts in the dual simplex *)
+  pgen : int;
+      (* cut-pool generation [pbasis] was extracted under. Later
+         generations only append cut rows as long as no pruning
+         happened, so the basis extends with the new slacks
+         (Simplex.extend_basis) and stays dual feasible; a basis from
+         before the last pruning generation is unusable. *)
 }
 
 (* Heap ordering: prefer the better parent bound; bounds within a
@@ -77,7 +85,8 @@ module Heap = struct
   type h = { mutable a : elt array; mutable len : int }
 
   let dummy_node =
-    { nlb = [||]; nub = [||]; depth = 0; parent_bound = 0.; pbasis = None }
+    { nlb = [||]; nub = [||]; depth = 0; parent_bound = 0.; pbasis = None;
+      pgen = 0 }
   let dummy = { key = neg_infinity; depth = 0; node = dummy_node }
   let create () = { a = Array.make 64 dummy; len = 0 }
   let better x y = better_key (x.key, x.depth) (y.key, y.depth)
@@ -136,10 +145,41 @@ let solve ?(options = default) model =
   let nv = Model.num_vars model in
   let lb0, ub0 = Model.bounds model in
   let nodes = ref 0 and simplex0 = Simplex.last_iterations () in
-  let prep = Simplex.prepare model in
+  (* Cutting planes. The pool holds globally valid <= rows over the
+     structural variables; the active set is materialized by
+     re-preparing the LP on an extended model whenever it changes.
+     [gen] numbers the preparations, [last_prune] is the generation of
+     the last active-set shrink: a basis from generation [g] extends to
+     the current LP iff [g >= last_prune] (rows were only appended
+     since). *)
+  let copts = options.cuts in
+  let pool =
+    if
+      copts.Cuts.enable
+      && Array.length int_ids > 0
+      && (copts.Cuts.root_rounds > 0 || copts.Cuts.node_interval > 0)
+    then Some (Cuts.create copts model)
+    else None
+  in
+  let rows_of m =
+    Array.map (fun (c : Model.cons) -> (c.Model.lhs, c.Model.rhs)) (Model.conss m)
+  in
+  let prep = ref (Simplex.prepare model) in
+  let xrows = ref (rows_of model) in
+  let gen = ref 0 and last_prune = ref 0 in
+  let cut_taint = ref false in
+  let reprep () =
+    match pool with
+    | None -> ()
+    | Some pool ->
+      incr gen;
+      let xm = Cuts.extend_model model pool in
+      prep := Simplex.prepare xm;
+      xrows := rows_of xm
+  in
   let lp ?warm ~lb ~ub () =
     Simplex.solve_prepared ~engine:options.engine ?max_iters:options.sx_iters
-      ?warm ~lb ~ub prep
+      ?warm ~lb ~ub !prep
   in
   (* Nodes whose LP hit the iteration budget are dropped from the search,
      but their subtree is unexplored: remember the tightest parent bound
@@ -153,6 +193,23 @@ let solve ?(options = default) model =
     if obj > !incumbent_obj then begin
       incumbent := Some (Array.copy values);
       incumbent_obj := obj;
+      (* Certify-style audit: every active cut must admit the incumbent.
+         A failure means an invalid cut may have pruned integer points,
+         so drop it, rebuild the LP and taint the outcome (Optimal can
+         no longer be claimed). *)
+      (match pool with
+      | Some pool when Cuts.active_count pool > 0 ->
+        let removed = Cuts.audit_incumbent pool values in
+        if removed > 0 then begin
+          cut_taint := true;
+          reprep ();
+          last_prune := !gen;
+          if options.log then
+            Log.warn (fun f ->
+                f "dropped %d cut(s) violated by the incumbent at node %d"
+                  removed !nodes)
+        end
+      | Some _ | None -> ());
       if options.log then
         Log.info (fun f -> f "new incumbent %.6g at node %d" (osign *. obj) !nodes)
     end
@@ -272,7 +329,8 @@ let solve ?(options = default) model =
     options.plunge_hints;
   let heap = Heap.create () in
   let root =
-    { nlb = lb0; nub = ub0; depth = 0; parent_bound = infinity; pbasis = None }
+    { nlb = lb0; nub = ub0; depth = 0; parent_bound = infinity; pbasis = None;
+      pgen = 0 }
   in
   Heap.push heap { key = infinity; depth = 0; node = root };
   let status = ref `Running in
@@ -293,7 +351,14 @@ let solve ?(options = default) model =
       else begin
         incr nodes;
         incr total_nodes;
-        match lp ?warm:node.pbasis ~lb:node.nlb ~ub:node.nub () with
+        (* lift the parent basis onto the current (possibly extended)
+           LP; unusable shapes and pre-pruning generations cold-start *)
+        let warm =
+          match node.pbasis with
+          | Some b when node.pgen >= !last_prune -> Simplex.extend_basis b !prep
+          | Some _ | None -> None
+        in
+        match lp ?warm ~lb:node.nlb ~ub:node.nub () with
         | Simplex.Infeasible, _ -> ()
         | Simplex.Iter_limit, _ ->
           (* Unresolved node: re-queueing would loop, so the node is
@@ -307,46 +372,127 @@ let solve ?(options = default) model =
           if node.depth = 0 && !incumbent = None then status := `Unbounded_root
           else ()
         | Simplex.Optimal { obj; values }, fbasis ->
-          let bound = osign *. obj in
-          if bound <= !incumbent_obj +. options.abs_gap then () (* pruned *)
+          if osign *. obj <= !incumbent_obj +. options.abs_gap then ()
+            (* pruned *)
           else begin
-            let branch_on id =
-              let x = values.(id) in
-              let fl = Float.floor x and ce = Float.ceil x in
-              let mk which =
-                let nlb = Array.copy node.nlb and nub = Array.copy node.nub in
-                (match which with
-                | `Down -> nub.(id) <- fl
-                | `Up -> nlb.(id) <- ce);
-                if nlb.(id) <= nub.(id) +. 1e-12 then
-                  Heap.push heap
-                    {
-                      key = bound;
-                      depth = node.depth + 1;
-                      node =
-                        {
-                          nlb;
-                          nub;
-                          depth = node.depth + 1;
-                          parent_bound = bound;
-                          pbasis = fbasis;
-                        };
-                    }
-              in
-              (* dive toward the rounded value first (heap tiebreak on depth) *)
-              if x -. fl > 0.5 then (mk `Down; mk `Up) else (mk `Up; mk `Down)
+            (* Cutting planes: a batch of rounds at the root, one round
+               every [node_interval] in-tree nodes. Each round separates
+               at the node's LP optimum, re-prepares the extended LP and
+               re-solves — warm from the extended final basis when the
+               active set only grew (appended rows keep it dual
+               feasible), cold after a prune. *)
+            let sep =
+              match pool with
+              | None -> `Ok (obj, values, fbasis)
+              | Some pool ->
+                let rounds =
+                  if node.depth = 0 && !nodes = 1 then copts.Cuts.root_rounds
+                  else if
+                    copts.Cuts.node_interval > 0
+                    && !nodes mod copts.Cuts.node_interval = 0
+                  then 1
+                  else 0
+                in
+                let rec cut_loop k obj values fbasis =
+                  if k = 0 || find_fractional values = None then
+                    `Ok (obj, values, fbasis)
+                  else begin
+                    let basis =
+                      Option.map
+                        (fun b ->
+                          (Simplex.basis_cols b, Simplex.basis_statuses b))
+                        fbasis
+                    in
+                    let added =
+                      Cuts.separate_round pool
+                        ~sp:(Simplex.prep_sparse !prep)
+                        ~rows:!xrows ~point:values ~basis
+                        ~incumbent:!incumbent
+                    in
+                    let pruned = Cuts.age_and_prune pool ~point:values in
+                    if added = 0 && pruned = 0 then `Ok (obj, values, fbasis)
+                    else begin
+                      reprep ();
+                      if pruned > 0 then last_prune := !gen;
+                      let warm =
+                        if pruned = 0 then
+                          Option.bind fbasis (fun b ->
+                              Simplex.extend_basis b !prep)
+                        else None
+                      in
+                      match lp ?warm ~lb:node.nlb ~ub:node.nub () with
+                      | Simplex.Optimal { obj; values }, fb ->
+                        cut_loop (k - 1) obj values fb
+                      | Simplex.Infeasible, _ -> `Cut_off
+                      | Simplex.Iter_limit, _ -> `Budget
+                      | Simplex.Unbounded, _ -> `Ok (obj, values, fbasis)
+                    end
+                  end
+                in
+                if rounds = 0 then `Ok (obj, values, fbasis)
+                else cut_loop rounds obj values fbasis
             in
-            match find_fractional values with
-            | None -> consider_incumbent values bound
-            | Some id ->
-              (* dive for an incumbent at the root and periodically until
-                 one exists, then keep branching *)
-              if
-                !nodes = 1
-                || (!incumbent = None && !nodes mod 40 = 0)
-                || !nodes mod 400 = 0
-              then try_plunge ?basis:fbasis node.nlb node.nub;
-              if bound > !incumbent_obj +. options.abs_gap then branch_on id
+            match sep with
+            | `Cut_off ->
+              (* the tightened LP is infeasible: the (globally valid)
+                 cuts prove the node holds no integer-feasible point *)
+              ()
+            | `Budget ->
+              (* an in-loop LP hit the iteration budget: same contract
+                 as the Iter_limit node outcome above *)
+              incr dropped;
+              if parent_key > !dropped_bound then dropped_bound := parent_key;
+              if options.log then
+                Log.warn (fun f ->
+                    f "simplex iteration limit during cut rounds at node %d"
+                      !nodes)
+            | `Ok (obj, values, fbasis) ->
+              let bound = osign *. obj in
+              if bound <= !incumbent_obj +. options.abs_gap then () (* pruned *)
+              else begin
+                let branch_on id =
+                  let x = values.(id) in
+                  let fl = Float.floor x and ce = Float.ceil x in
+                  let mk which =
+                    let nlb = Array.copy node.nlb
+                    and nub = Array.copy node.nub in
+                    (match which with
+                    | `Down -> nub.(id) <- fl
+                    | `Up -> nlb.(id) <- ce);
+                    if nlb.(id) <= nub.(id) +. 1e-12 then
+                      Heap.push heap
+                        {
+                          key = bound;
+                          depth = node.depth + 1;
+                          node =
+                            {
+                              nlb;
+                              nub;
+                              depth = node.depth + 1;
+                              parent_bound = bound;
+                              pbasis = fbasis;
+                              pgen = !gen;
+                            };
+                        }
+                  in
+                  (* dive toward the rounded value first (heap tiebreak
+                     on depth) *)
+                  if x -. fl > 0.5 then (mk `Down; mk `Up)
+                  else (mk `Up; mk `Down)
+                in
+                match find_fractional values with
+                | None -> consider_incumbent values bound
+                | Some id ->
+                  (* dive for an incumbent at the root and periodically
+                     until one exists, then keep branching *)
+                  if
+                    !nodes = 1
+                    || (!incumbent = None && !nodes mod 40 = 0)
+                    || !nodes mod 400 = 0
+                  then try_plunge ?basis:fbasis node.nlb node.nub;
+                  if bound > !incumbent_obj +. options.abs_gap then
+                    branch_on id
+              end
           end
       end
   done;
@@ -369,12 +515,15 @@ let solve ?(options = default) model =
   match (!status, !incumbent) with
   | `Unbounded_root, _ -> mk Unbounded infinity infinity
   | (`Exhausted | `Gap_closed), Some _ ->
-    (* a dropped subtree may hold something better than the incumbent:
-       exhausting the heap no longer proves optimality *)
-    if !dropped > 0 then mk Feasible (osign *. !incumbent_obj) (osign *. best_bound)
+    (* a dropped subtree may hold something better than the incumbent,
+       and a cut that failed its incumbent audit may have pruned
+       integer points before it was caught: either way exhausting the
+       heap no longer proves optimality *)
+    if !dropped > 0 || !cut_taint then
+      mk Feasible (osign *. !incumbent_obj) (osign *. best_bound)
     else mk Optimal (osign *. !incumbent_obj) (osign *. best_bound)
   | `Exhausted, None ->
-    if !dropped > 0 then mk No_incumbent nan (osign *. best_bound)
+    if !dropped > 0 || !cut_taint then mk No_incumbent nan (osign *. best_bound)
     else mk Infeasible nan nan
   | `Limit, Some _ -> mk Feasible (osign *. !incumbent_obj) (osign *. best_bound)
   | (`Limit | `Gap_closed), None -> mk No_incumbent nan (osign *. best_bound)

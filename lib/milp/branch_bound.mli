@@ -32,6 +32,14 @@ type options = {
           from the search with its parent bound folded into the final
           bound, and the outcome degrades [Optimal] -> [Feasible]
           (exposed mainly so tests can force the degradation path). *)
+  cuts : Cuts.options;
+      (** Cutting planes ({!Cuts}): separation rounds run at the root
+          and every [node_interval] in-tree nodes, the LP is re-prepared
+          on the extended row set, and parent bases extend over appended
+          cut rows so dual warm starts survive. Default {!Cuts.default};
+          [Cuts.disabled] ([--no-cuts]) restores the pre-cut search
+          exactly. A cut that fails its incumbent audit is dropped and
+          taints the outcome ([Optimal] -> [Feasible]). *)
 }
 
 val default : options

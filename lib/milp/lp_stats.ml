@@ -16,6 +16,17 @@ let warm_attempts = key ()
 let warm_hits = key ()
 let certify_checks = key ()
 let certify_failures = key ()
+let cuts_generated = key ()
+let cuts_applied = key ()
+let cuts_pruned = key ()
+let cut_audit_failures = key ()
+
+let int_keys =
+  [
+    pivots; dual_pivots; factorizations; eta_updates; warm_attempts;
+    warm_hits; certify_checks; certify_failures; cuts_generated;
+    cuts_applied; cuts_pruned; cut_audit_failures;
+  ]
 
 let incr k = incr (Domain.DLS.get k)
 let add k n = Domain.DLS.get k := !(Domain.DLS.get k) + n
@@ -30,8 +41,19 @@ let fkey () = Domain.DLS.new_key (fun () -> ref 0.)
 let certify_max_primal_residual = fkey ()
 let certify_max_dual_gap = fkey ()
 
+let float_keys = [ certify_max_primal_residual; certify_max_dual_gap ]
+
 let fmax k v =
   let r = Domain.DLS.get k in
   if v > !r then r := v
 
 let fread k () = !(Domain.DLS.get k)
+
+(* Zero every counter and high-water mark of the calling domain. Bench
+   cells call this between runs so cumulative readings double as
+   per-cell absolutes and the certify-* maxes cannot leak across cells.
+   Per-domain by construction: a Parallel.Pool worker's counters are
+   untouched (the pool aggregates those by delta instead). *)
+let reset_all () =
+  List.iter (fun k -> Domain.DLS.get k := 0) int_keys;
+  List.iter (fun k -> Domain.DLS.get k := 0.) float_keys

@@ -50,7 +50,32 @@ let cumulative_warm_hits = Lp_stats.read Lp_stats.warm_hits
 
 let prepare model = { pmodel = model; sp = Sparse.of_model model }
 
+let prep_sparse prep = prep.sp
+
 let var_statuses b = Array.sub b.bstat 0 b.bnv
+
+let basis_statuses b = Array.copy b.bstat
+let basis_cols b = Array.copy b.bbcols
+
+(* Extend a basis to a prepared model that appended rows (cutting
+   planes) to the one the basis came from. The new rows' slack columns
+   enter the basis, so the basis matrix becomes block lower triangular
+   [[B 0]; [C I]]: the old dual values and reduced costs carry over
+   unchanged (the new rows price at y = 0), which keeps a dual-feasible
+   basis dual feasible in the extended problem. Returns [None] when the
+   shapes are incompatible (different structural count, or fewer rows
+   than the basis was built for). *)
+let extend_basis b prep =
+  let sp = prep.sp in
+  if b.bnv <> sp.Sparse.nv || b.bn > sp.Sparse.n then None
+  else if b.bn = sp.Sparse.n then Some b
+  else begin
+    let n = sp.Sparse.n in
+    let bstat = Array.make n Basic in
+    Array.blit b.bstat 0 bstat 0 b.bn;
+    let extra = Array.init (n - b.bn) (fun i -> b.bn + i) in
+    Some { bn = n; bnv = b.bnv; bstat; bbcols = Array.append b.bbcols extra }
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Mutable solve state                                                 *)

@@ -48,6 +48,11 @@ type prepared
 
 val prepare : Model.t -> prepared
 
+(** The CSC standard form of a prepared model (shared, do not mutate).
+    Exposed for row-generation clients ({!Cuts}) that need tableau
+    access through {!Basis}/{!Sparse}. *)
+val prep_sparse : prepared -> Sparse.t
+
 (** [solve ?engine ?lb ?ub ?max_iters model] solves the LP relaxation
     of [model] (integrality is ignored). [lb]/[ub] override the model's
     variable bounds. The default iteration budget is
@@ -81,6 +86,23 @@ val solve_prepared :
 (** Statuses of the structural (model) variables in a basis, indexed by
     variable id. *)
 val var_statuses : basis -> vstat array
+
+(** Statuses of every internal column (structurals followed by one slack
+    per row; fresh copy). For tableau-row cut separation. *)
+val basis_statuses : basis -> vstat array
+
+(** Basic internal column of every row position (fresh copy), in the
+    shape {!Basis.create} expects. *)
+val basis_cols : basis -> int array
+
+(** [extend_basis b prep] lifts a basis onto a prepared model that
+    appended rows (cutting planes) to the model [b] came from: the new
+    rows' slack columns enter as basic, making the basis matrix block
+    lower triangular, so dual values and reduced costs — and hence dual
+    feasibility — carry over unchanged. [None] when the shapes are
+    incompatible (different structural count or fewer rows). Passing a
+    basis of the same shape returns it as-is. *)
+val extend_basis : basis -> prepared -> basis option
 
 (** Domain-local cumulative counters (see {!Lp_stats}). [pivots] counts
     primal and dual pivots of both engines; the rest are revised-engine

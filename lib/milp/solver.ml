@@ -15,6 +15,7 @@ type options = {
   presolve : bool;
   dense_simplex : bool;
   certify : bool;
+  cuts : Cuts.options;
 }
 
 (* The values shared with branch-and-bound are derived from
@@ -34,6 +35,7 @@ let default_options =
     presolve = true;
     dense_simplex = false;
     certify = true;
+    cuts = d.Branch_bound.cuts;
   }
 
 let engine_of options =
@@ -92,6 +94,7 @@ let solve_direct ~options ~t0 model =
         warm_start = options.warm_start;
         plunge_hints = options.plunge_hints;
         engine = engine_of options;
+        cuts = options.cuts;
       }
     in
     let r = Branch_bound.solve ~options:bb_options model in
@@ -210,4 +213,8 @@ let stats_counters =
     ("presolve-bigm", Presolve.cumulative_big_ms_tightened);
     ("certify-checks", Certify.cumulative_checks);
     ("certify-failures", Certify.cumulative_failures);
+    ("cuts-generated", Cuts.cumulative_generated);
+    ("cuts-applied", Cuts.cumulative_applied);
+    ("cuts-pruned", Cuts.cumulative_pruned);
+    ("cut-audit-failures", Cuts.cumulative_audit_failures);
   ]

@@ -33,6 +33,11 @@ type options = {
           model via {!Certify} (default [true]; [--no-certify] at the
           CLI). A failed certificate downgrades the status — see
           {!solve} — rather than raising. *)
+  cuts : Cuts.options;
+      (** cutting planes for MILP solves ({!Cuts}: Gomory mixed-integer,
+          knapsack cover and clique cuts over a managed pool). Default
+          {!Cuts.default}; [Cuts.disabled] ([--no-cuts] at the CLI)
+          restores the cut-free search exactly. *)
 }
 
 (** Defaults shared with branch-and-bound are derived from
@@ -86,10 +91,12 @@ val has_point : solution -> bool
     primal + dual across both engines), revised-engine internals
     ([dual-pivots], [factorizations], [eta-updates], [warm-attempts],
     [warm-hits]), branch-and-bound nodes ([bb-nodes]), presolve
-    reductions ([presolve-rows]/[presolve-cols]/[presolve-bigm]) and
-    certification verdicts ([certify-checks]/[certify-failures]) — in the
-    shape [Parallel.Pool.create ~counters] expects; pass this to a pool
-    to have solver work aggregated into its one-line stats summaries. *)
+    reductions ([presolve-rows]/[presolve-cols]/[presolve-bigm]),
+    certification verdicts ([certify-checks]/[certify-failures]) and
+    cutting-plane activity ([cuts-generated]/[cuts-applied]/
+    [cuts-pruned]/[cut-audit-failures]) — in the shape
+    [Parallel.Pool.create ~counters] expects; pass this to a pool to
+    have solver work aggregated into its one-line stats summaries. *)
 val stats_counters : (string * (unit -> int)) list
 
 val pp_status : Format.formatter -> status -> unit

@@ -9,6 +9,7 @@ type options = {
   presolve : bool;
   dense_simplex : bool;
   certify : bool;
+  cuts : Milp.Cuts.options;
 }
 
 let default_options =
@@ -23,6 +24,7 @@ let default_options =
     presolve = true;
     dense_simplex = false;
     certify = true;
+    cuts = Milp.Cuts.default;
   }
 
 let with_timeout t = { default_options with time_limit = t }
@@ -150,6 +152,7 @@ let analyze ?(options = default_options) topo paths envelope =
       presolve = options.presolve;
       dense_simplex = options.dense_simplex;
       certify = options.certify;
+      cuts = options.cuts;
     }
   in
   let sol = Milp.Solver.solve ~options:solver_options built.Bilevel.model in

@@ -38,6 +38,13 @@ type options = {
           downgrades [status] instead of reporting an unsound result.
           Default [true]; disable with the CLI/bench [--no-certify]
           flags. *)
+  cuts : Milp.Cuts.options;
+      (** cutting planes for the branch-and-bound solve
+          ({!Milp.Cuts}: Gomory mixed-integer, knapsack cover and clique
+          cuts over a managed pool). Default {!Milp.Cuts.default};
+          [Milp.Cuts.disabled] (the CLI/bench [--no-cuts] flags)
+          restores the cut-free search exactly, and [--cut-rounds N]
+          overrides the number of root separation rounds. *)
 }
 
 val default_options : options

@@ -13,6 +13,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("simplex diff", Test_simplex_diff.suite);
       ("revised simplex", Test_revised.suite);
+      ("cuts", Test_cuts.suite);
       ("certify", Test_certify.suite);
       ("parallel", Test_parallel.suite);
     ]
