@@ -15,11 +15,13 @@ type ctx = {
   certify : bool;  (** independent solution audit ([--no-certify]) *)
   cuts : bool;  (** cutting planes for every MILP solve ([--no-cuts]) *)
   cut_rounds : int option;  (** root separation rounds ([--cut-rounds]) *)
+  batch : bool;  (** batched scenario engine for the sweeps ([--no-batch]) *)
 }
 
 let default_ctx =
   { budget = 10.; full = false; quick = false; domains = 1; presolve = true;
-    dense_simplex = false; certify = true; cuts = true; cut_rounds = None }
+    dense_simplex = false; certify = true; cuts = true; cut_rounds = None;
+    batch = true }
 
 let printf = Format.printf
 
@@ -73,7 +75,7 @@ let cut_options ctx =
 let options ctx spec =
   { (Raha.Analysis.with_timeout ctx.budget) with spec; presolve = ctx.presolve;
     dense_simplex = ctx.dense_simplex; certify = ctx.certify;
-    cuts = cut_options ctx }
+    cuts = cut_options ctx; batch = ctx.batch }
 
 (* Deterministic certificate summary for the [counters:] lines CI diffs:
    verdict plus the max primal residual rounded to one significant digit

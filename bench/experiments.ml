@@ -857,6 +857,87 @@ let montecarlo ctx =
   row
     "(the optimizer surfaces probable scenarios far beyond the sampled p99 — the      incident §2 describes)@."
 
+(* -------------------------------------------------------------------- batch *)
+
+(* Batched scenario engine ablation (DESIGN.md §12): the same Monte
+   Carlo and k-enumeration sweeps solved through one shared prepared
+   structure + rhs overlays + warm dual solves from the healthy basis
+   (batch=on) vs a full formulation/model/factorization rebuild per
+   scenario (batch=off). Both arms hand the simplex bit-identical
+   inputs, so every per-scenario degradation must match to the last
+   bit — the "identical=true" diff line asserts it. The [counters:]
+   lines carry no wall clock and are deterministic, so CI runs the
+   experiment twice and diffs them; it also gates on bwarm (batched
+   warm hits) staying nonzero and cert=ok (zero Batch.check audit
+   failures) in the on arm. Measured scenarios/sec rows are recorded
+   in BENCH_batch.json. *)
+let batch_bench ctx =
+  section ctx ~id:"batch"
+    ~paper:"batched scenario engine: one symbolic factorization, warm overlay solves (DESIGN.md §12)"
+    ~config:"africa-like WAN (8 nodes), Monte Carlo + k-enumeration sweeps, batch on/off";
+  let topo, pairs = wan_small () in
+  let paths = paths_of topo pairs in
+  let peak = Traffic.Demand.scale 1.3 (base_demand pairs) in
+  let mc_samples = if ctx.quick then 512 else 2048 in
+  let bits = Array.map Int64.bits_of_float in
+  row "%-10s %-4s %-6s %-8s %-8s %-11s %-9s %-6s@." "cell" "arm" "scen"
+    "time(s)" "scen/s" "warm" "overlays" "prep";
+  let run_cell name scen_count solve =
+    let arm arm_name batch =
+      (* fresh counters per arm: the cumulative reads below are then
+         per-arm values *)
+      Milp.Lp_stats.reset_all ();
+      let t0 = Unix.gettimeofday () in
+      let degs = solve ~batch in
+      let dt = Unix.gettimeofday () -. t0 in
+      let wa = Milp.Simplex.cumulative_warm_attempts ()
+      and wh = Milp.Simplex.cumulative_warm_hits ()
+      and bwh = Milp.Batch.cumulative_warm_hits ()
+      and ov = Milp.Batch.cumulative_overlays ()
+      and np = Milp.Batch.cumulative_prepares ()
+      and facts = Milp.Simplex.cumulative_factorizations ()
+      and cc = Milp.Certify.cumulative_checks ()
+      and cf = Milp.Certify.cumulative_failures () in
+      row "%-10s %-4s %-6d %-8.2f %-8.0f %-11s %-9d %-6d@." name arm_name
+        scen_count dt
+        (float_of_int scen_count /. Float.max 1e-9 dt)
+        (if wa = 0 then "-" else Printf.sprintf "%d/%d" wh wa)
+        ov np;
+      row
+        "counters: %s | batch=%s | scen=%d warm=%d/%d bwarm=%d overlays=%d prepares=%d fact=%d certify=%d/%d cert=%s@."
+        name arm_name scen_count wh wa bwh ov np facts cf cc
+        (if cf = 0 then "ok" else "FAIL");
+      (degs, dt)
+    in
+    let degs_off, dt_off = arm "off" false in
+    let degs_on, dt_on = arm "on" true in
+    let identical = bits degs_on = bits degs_off in
+    row "%s: speedup %.1fx (off %.2fs / on %.2fs), degradations %s@." name
+      (dt_off /. Float.max 1e-9 dt_on)
+      dt_off dt_on
+      (if identical then "bit-identical" else "MISMATCH");
+    row "counters: %s | diff | identical=%b@." name identical
+  in
+  run_cell "mc" mc_samples (fun ~batch ->
+      fst
+        (Te.Monte_carlo.sample_degradations ~domains:ctx.domains ~batch ~seed:1
+           ~samples:mc_samples topo paths peak));
+  List.iter
+    (fun k ->
+      let scen_count = List.length (Failure.Enumerate.up_to_k topo ~k) in
+      run_cell
+        (Printf.sprintf "enum k=%d" k)
+        scen_count
+        (fun ~batch ->
+          let r =
+            Raha.Baselines.enumerate_failures ~domains:ctx.domains ~batch ~k topo
+              paths peak
+          in
+          [| r.Raha.Baselines.worst |]))
+    (if ctx.quick then [ 1 ] else [ 1; 2 ]);
+  row
+    "(off rebuilds formulation+factorization per scenario; on pays them once.      bwarm counts warm dual overlay solves, certify the Batch.check audits —      failures must be 0)@."
+
 (* -------------------------------------------------------------------- ffc *)
 
 let ffc ctx =
@@ -918,5 +999,6 @@ let all : (string * string * (ctx -> unit)) list =
     ("revised", "revised simplex + dual warm starts vs dense tableau", revised_bench);
     ("cuts", "cutting planes (Gomory/cover/clique pool) on vs off", cuts_bench);
     ("montecarlo", "Monte Carlo sampling vs Raha's worst case (§1)", montecarlo);
+    ("batch", "batched scenario engine (overlay + warm) on vs off", batch_bench);
     ("ffc", "FFC-protected network still degrades beyond k (§2.2)", ffc);
   ]

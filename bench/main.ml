@@ -19,6 +19,7 @@ let () =
   let no_presolve = ref false and dense_simplex = ref false in
   let no_certify = ref false in
   let no_cuts = ref false and cut_rounds = ref 0 and cut_rounds_set = ref false in
+  let no_batch = ref false in
   let args =
     [
       ("--list", Arg.Set list, " list experiment ids");
@@ -39,6 +40,8 @@ let () =
       ("--cut-rounds",
        Arg.Int (fun n -> cut_rounds := n; cut_rounds_set := true),
        "N cut separation rounds at the branch-and-bound root (default 6)");
+      ("--no-batch", Arg.Set no_batch,
+       " disable the batched scenario engine (per-scenario prepares instead)");
     ]
   in
   Arg.parse (Arg.align args) (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
@@ -61,6 +64,7 @@ let () =
         certify = not !no_certify;
         cuts = not !no_cuts;
         cut_rounds = (if !cut_rounds_set then Some !cut_rounds else None);
+        batch = not !no_batch;
       }
     in
     (* an unknown id in --only would otherwise be silently skipped *)

@@ -195,6 +195,13 @@ let no_cuts_arg =
         ~doc:
           "Disable the cutting-plane subsystem (Gomory mixed-integer, knapsack               cover and clique cuts over a managed pool) and run the cut-free               branch-and-bound search.")
 
+let no_batch_arg =
+  Arg.(
+    value & flag
+    & info [ "no-batch" ]
+        ~doc:
+          "Disable the batched scenario engine (one symbolic factorization,               rhs overlays, warm dual solves from the healthy basis) for               scenario-evaluation sweeps; every scenario rebuilds its own               formulation and factorization. Bit-identical results, kept for               differential debugging and ablation.")
+
 let cut_rounds_arg =
   Arg.(
     value
@@ -251,7 +258,7 @@ type setup = {
 }
 
 let make_setup topo pairs num_pairs primary backup threshold max_failures ce slack
-    volume timeout domains no_presolve dense_simplex no_certify no_cuts
+    volume timeout domains no_presolve dense_simplex no_certify no_cuts no_batch
     cut_rounds encoding objective demand_file =
   let base =
     match demand_file with
@@ -294,6 +301,7 @@ let make_setup topo pairs num_pairs primary backup threshold max_failures ce sla
       dense_simplex;
       certify = not no_certify;
       cuts;
+      batch = not no_batch;
     }
   in
   { topo; paths; envelope; options }
@@ -303,7 +311,7 @@ let setup_term =
     const make_setup $ topology_arg $ pairs_arg $ num_pairs_arg $ primary_arg
     $ backup_arg $ threshold_arg $ max_failures_arg $ ce_arg $ slack_arg $ volume_arg
     $ timeout_arg $ domains_arg $ no_presolve_arg $ dense_simplex_arg
-    $ no_certify_arg $ no_cuts_arg $ cut_rounds_arg $ encoding_arg
+    $ no_certify_arg $ no_cuts_arg $ no_batch_arg $ cut_rounds_arg $ encoding_arg
     $ objective_arg $ demand_file_arg)
 
 (* --- subcommands ------------------------------------------------------- *)

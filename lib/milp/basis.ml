@@ -319,6 +319,27 @@ let refactorize t =
   t.etas <- [||];
   t.neta <- 0
 
+(* A snapshot shares the immutable [lu] value (replaced wholesale on
+   refactorization, never mutated in place; FTRAN/BTRAN allocate their
+   own scratch) plus a private copy of the — possibly repaired — basic
+   column selection. [of_snapshot] reinstates it in O(m) with zero
+   factorization work, and is domain-safe: every field it reads is
+   immutable. The snapshot remembers which matrix it factors; reuse
+   against any other Sparse.t is refused (the factors would be wrong),
+   so callers fall back to a fresh [create]. *)
+type snapshot = { sa : Sparse.t; scols : int array; slu : lu }
+
+let snapshot t =
+  if t.neta > 0 then refactorize t;
+  { sa = t.a; scols = Array.copy t.cols; slu = t.lu }
+
+let of_snapshot a s =
+  if a != s.sa then None
+  else
+    Some
+      { a; cols = Array.copy s.scols; lu = s.slu; etas = [||]; neta = 0;
+        max_eta = 64; refactors = 0 }
+
 let replace t ~r ~col ~w =
   t.cols.(r) <- col;
   let unstable = Float.abs w.(r) < stab_tol in

@@ -47,3 +47,26 @@ val replace : t -> r:int -> col:int -> w:float array -> bool
 (** Positive when [replace] refactorized due to instability at least
     once for this basis (diagnostic). *)
 val refactor_count : t -> int
+
+(** {1 Factorization snapshots}
+
+    A snapshot freezes a basis's column selection together with its LU
+    factors; {!of_snapshot} reinstates them in O(m) without
+    refactorizing. The batched scenario engine uses this to pay for one
+    symbolic+numeric factorization of the healthy-network basis and
+    reuse it across thousands of warm overlay solves. A snapshot is an
+    immutable value: sharing it between domains is safe, and reinstating
+    it yields bit-identical FTRAN/BTRAN results to a fresh {!create} of
+    the same columns (the factorization is deterministic). *)
+
+type snapshot
+
+(** [snapshot t] captures [t]'s current basis. Refactorizes first if
+    eta updates have accumulated, so the snapshot is always pure LU. *)
+val snapshot : t -> snapshot
+
+(** [of_snapshot a s] reinstates [s] against [a]. Returns [None] unless
+    [a] is physically the matrix [s] was factorized from — the factors
+    are meaningless for any other matrix, even a structurally equal
+    one. *)
+val of_snapshot : Sparse.t -> snapshot -> t option

@@ -20,12 +20,16 @@ let cuts_generated = key ()
 let cuts_applied = key ()
 let cuts_pruned = key ()
 let cut_audit_failures = key ()
+let batch_prepares = key ()
+let batch_overlays = key ()
+let batch_warm_hits = key ()
 
 let int_keys =
   [
     pivots; dual_pivots; factorizations; eta_updates; warm_attempts;
     warm_hits; certify_checks; certify_failures; cuts_generated;
-    cuts_applied; cuts_pruned; cut_audit_failures;
+    cuts_applied; cuts_pruned; cut_audit_failures; batch_prepares;
+    batch_overlays; batch_warm_hits;
   ]
 
 let incr k = incr (Domain.DLS.get k)

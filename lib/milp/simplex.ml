@@ -30,6 +30,11 @@ type basis = {
   bnv : int;
   bstat : vstat array;
   bbcols : int array;
+  bfactor : Basis.snapshot option Atomic.t;
+      (* LU of bbcols, cached on first warm use so repeated warm starts
+         from the same basis (the batched scenario engine) skip the
+         refactorization. Deterministic: a racy publish from another
+         domain stores an identical value. *)
 }
 
 type prepared = { pmodel : Model.t; sp : Sparse.t }
@@ -51,6 +56,7 @@ let cumulative_warm_hits = Lp_stats.read Lp_stats.warm_hits
 let prepare model = { pmodel = model; sp = Sparse.of_model model }
 
 let prep_sparse prep = prep.sp
+let prep_model prep = prep.pmodel
 
 let var_statuses b = Array.sub b.bstat 0 b.bnv
 
@@ -74,7 +80,9 @@ let extend_basis b prep =
     let bstat = Array.make n Basic in
     Array.blit b.bstat 0 bstat 0 b.bn;
     let extra = Array.init (n - b.bn) (fun i -> b.bn + i) in
-    Some { bn = n; bnv = b.bnv; bstat; bbcols = Array.append b.bbcols extra }
+    Some
+      { bn = n; bnv = b.bnv; bstat; bbcols = Array.append b.bbcols extra;
+        bfactor = Atomic.make None }
   end
 
 (* ------------------------------------------------------------------ *)
@@ -82,6 +90,7 @@ let extend_basis b prep =
 
 type st = {
   sp : Sparse.t;
+  rhs : float array; (* effective row rhs: sp.b or a caller overlay *)
   lo : float array; (* length n: structural overrides ++ slack bounds *)
   hi : float array;
   x : float array; (* current value of every column *)
@@ -120,7 +129,7 @@ let compute_xb st =
   let sp = st.sp in
   let m = sp.Sparse.m in
   if m > 0 then begin
-    let rhs = Array.sub sp.Sparse.b 0 m in
+    let rhs = Array.sub st.rhs 0 m in
     for j = 0 to sp.Sparse.n - 1 do
       if st.stat.(j) <> Basic && st.x.(j) <> 0. then
         Sparse.axpy_col sp j (-.st.x.(j)) rhs
@@ -140,7 +149,7 @@ let nonbasic_value st j =
 
 (* Cold state: structural columns rest at a finite bound (0 for free
    columns), every slack is basic. *)
-let cold_state (prep : prepared) (lo, hi) ~max_iters ~degen_limit =
+let cold_state (prep : prepared) ~rhs (lo, hi) ~max_iters ~degen_limit =
   let sp = prep.sp in
   let nv = sp.Sparse.nv and m = sp.Sparse.m and n = sp.Sparse.n in
   let stat = Array.make n At_lower in
@@ -158,6 +167,7 @@ let cold_state (prep : prepared) (lo, hi) ~max_iters ~degen_limit =
   let st =
     {
       sp;
+      rhs;
       lo;
       hi;
       x;
@@ -180,19 +190,32 @@ let cold_state (prep : prepared) (lo, hi) ~max_iters ~degen_limit =
    nonbasics onto the (possibly tightened) bounds, refactorize. The
    factorization may repair a singular selection, in which case the
    statuses are reconciled with the repaired column set. *)
-let warm_state (prep : prepared) (lo, hi) (b : basis) ~max_iters ~degen_limit =
+let warm_state (prep : prepared) ~rhs (lo, hi) (b : basis) ~max_iters ~degen_limit =
   let sp = prep.sp in
   let n = sp.Sparse.n in
   let stat = Array.copy b.bstat in
   let x = Array.make n 0. in
-  let bas = Basis.create sp b.bbcols in
+  let bas =
+    (* reuse the cached factorization when this basis was already warm-
+       installed against this very matrix (the batched engine warm-starts
+       thousands of overlay solves from one healthy basis); otherwise
+       factorize and publish. Basis.of_snapshot refuses any other matrix,
+       and reinstating is bit-identical to refactorizing, so a cache hit
+       never changes results. *)
+    match Option.bind (Atomic.get b.bfactor) (Basis.of_snapshot sp) with
+    | Some bas -> bas
+    | None ->
+      let bas = Basis.create sp b.bbcols in
+      Atomic.set b.bfactor (Some (Basis.snapshot bas));
+      bas
+  in
   let bcols = Basis.bcols bas in
   (* repair reconciliation: exactly the bcols entries are basic *)
   Array.iteri (fun j s -> if s = Basic then stat.(j) <- At_lower) stat;
   Array.iter (fun j -> stat.(j) <- Basic) bcols;
   let st =
-    { sp; lo; hi; x; stat; bcols; bas; bland = false; degen = 0; degen_limit;
-      iters = max_iters }
+    { sp; rhs; lo; hi; x; stat; bcols; bas; bland = false; degen = 0;
+      degen_limit; iters = max_iters }
   in
   for j = 0 to n - 1 do
     if st.stat.(j) <> Basic then begin
@@ -563,6 +586,7 @@ let extract_basis st =
       bnv = st.sp.Sparse.nv;
       bstat = Array.copy st.stat;
       bbcols = Array.copy st.bcols;
+      bfactor = Atomic.make None;
     }
 
 let finish_optimal (prep : prepared) st =
@@ -570,8 +594,8 @@ let finish_optimal (prep : prepared) st =
   let _, obj = Model.objective prep.pmodel in
   (Optimal { obj = Linexpr.eval values obj; values }, extract_basis st)
 
-let cold_solve prep bounds ~max_iters ~degen_limit =
-  let st = cold_state prep bounds ~max_iters ~degen_limit in
+let cold_solve prep ~rhs bounds ~max_iters ~degen_limit =
+  let st = cold_state prep ~rhs bounds ~max_iters ~degen_limit in
   let rec go () =
     match run_primal st ~phase1:true with
     | `Iters -> (Iter_limit, None)
@@ -599,12 +623,19 @@ let of_dense = function
   | Dense_simplex.Unbounded -> Unbounded
   | Dense_simplex.Iter_limit -> Iter_limit
 
-let solve_prepared ?(engine = Revised) ?lb ?ub ?max_iters ?degen_limit ?warm
-    prep =
+let solve_prepared ?(engine = Revised) ?lb ?ub ?b ?max_iters ?degen_limit ?warm
+    (prep : prepared) =
+  (match b with
+  | Some rhs when Array.length rhs <> prep.sp.Sparse.m ->
+    invalid_arg "Simplex.solve_prepared: rhs overlay length <> rows"
+  | Some _ when engine = Dense ->
+    invalid_arg "Simplex.solve_prepared: rhs overlay needs the revised engine"
+  | _ -> ());
   match engine with
   | Dense -> (of_dense (Dense_simplex.solve ?lb ?ub ?max_iters prep.pmodel), None)
   | Revised -> (
     let sp = prep.sp in
+    let rhs = match b with Some rhs -> rhs | None -> sp.Sparse.b in
     let max_iters = match max_iters with Some k -> k | None -> default_iters sp in
     let degen_limit =
       match degen_limit with
@@ -614,10 +645,12 @@ let solve_prepared ?(engine = Revised) ?lb ?ub ?max_iters ?degen_limit ?warm
     try
       let bounds = fresh_bounds prep ?lb ?ub () in
       let cold iters =
-        try cold_solve prep bounds ~max_iters:iters ~degen_limit
-        with Basis.Singular _ ->
+        try cold_solve prep ~rhs bounds ~max_iters:iters ~degen_limit
+        with Basis.Singular _ when b = None ->
           (* pathological basis beyond slack repair: degrade to the
-             dense tableau rather than crash the solve *)
+             dense tableau rather than crash the solve. With a rhs
+             overlay the dense engine would solve the wrong rhs, so
+             Singular propagates to the caller instead. *)
           (of_dense (Dense_simplex.solve ?lb ?ub ~max_iters prep.pmodel), None)
       in
       let warm =
@@ -627,11 +660,11 @@ let solve_prepared ?(engine = Revised) ?lb ?ub ?max_iters ?degen_limit ?warm
       in
       match warm with
       | None -> cold max_iters
-      | Some b -> (
+      | Some wb -> (
         Lp_stats.incr Lp_stats.warm_attempts;
         let attempt =
           try
-            let st = warm_state prep bounds b ~max_iters ~degen_limit in
+            let st = warm_state prep ~rhs bounds wb ~max_iters ~degen_limit in
             if not (dual_feasible st (reduced_costs st)) then
               `Cold max_iters
             else begin

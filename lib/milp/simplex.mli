@@ -53,6 +53,10 @@ val prepare : Model.t -> prepared
     access through {!Basis}/{!Sparse}. *)
 val prep_sparse : prepared -> Sparse.t
 
+(** The model a prepared form was built from (the audit target for
+    {!Batch.check}). *)
+val prep_model : prepared -> Model.t
+
 (** [solve ?engine ?lb ?ub ?max_iters model] solves the LP relaxation
     of [model] (integrality is ignored). [lb]/[ub] override the model's
     variable bounds. The default iteration budget is
@@ -66,17 +70,29 @@ val solve :
   Model.t ->
   result
 
-(** [solve_prepared ?engine ?lb ?ub ?max_iters ?degen_limit ?warm prep]
+(** [solve_prepared ?engine ?lb ?ub ?b ?max_iters ?degen_limit ?warm prep]
     is {!solve} on a prepared model, returning the final basis alongside
     the result (for [Optimal] under the revised engine; [None]
     otherwise). [?warm] supplies a starting basis — ignored if it was
     extracted from a differently-shaped model. [?degen_limit] sets the
     number of consecutive degenerate pivots tolerated before switching
-    to Bland's rule (default [max 50 (rows + cols)]). *)
+    to Bland's rule (default [max 50 (rows + cols)]).
+
+    [?b] overlays the row right-hand sides (length = rows) without
+    rebuilding the CSC structure — the batched scenario path
+    ({!Batch}). Duals and reduced costs never depend on the rhs, so any
+    dual-feasible basis (in particular an optimal one) stays dual
+    feasible under an overlay, making [?warm] + [?b] the cheap re-solve
+    combination. Revised engine only; with an overlay the pathological
+    dense-tableau degradation is unavailable and {!Basis.Singular}
+    propagates instead.
+    @raise Invalid_argument on a wrong-length overlay or [engine=Dense]
+    with an overlay. *)
 val solve_prepared :
   ?engine:engine ->
   ?lb:float array ->
   ?ub:float array ->
+  ?b:float array ->
   ?max_iters:int ->
   ?degen_limit:int ->
   ?warm:basis ->

@@ -217,4 +217,7 @@ let stats_counters =
     ("cuts-applied", Cuts.cumulative_applied);
     ("cuts-pruned", Cuts.cumulative_pruned);
     ("cut-audit-failures", Cuts.cumulative_audit_failures);
+    ("batch-prepares", Batch.cumulative_prepares);
+    ("batch-overlays", Batch.cumulative_overlays);
+    ("batch-warm-hits", Batch.cumulative_warm_hits);
   ]

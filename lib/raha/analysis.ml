@@ -10,6 +10,7 @@ type options = {
   dense_simplex : bool;
   certify : bool;
   cuts : Milp.Cuts.options;
+  batch : bool;
 }
 
 let default_options =
@@ -25,6 +26,7 @@ let default_options =
     dense_simplex = false;
     certify = true;
     cuts = Milp.Cuts.default;
+    batch = true;
   }
 
 let with_timeout t = { default_options with time_limit = t }
@@ -58,7 +60,7 @@ let par_map ~domains f arr =
     Parallel.Pool.with_pool ~counters:Milp.Solver.stats_counters ~domains (fun pool ->
         Parallel.Pool.map_array pool f arr)
 
-let seed_candidates spec topo paths envelope ~limit ~domains =
+let seed_candidates spec topo paths envelope ~limit ~domains ~batch =
   let pairs = Traffic.Envelope.pairs envelope in
   let hi =
     Traffic.Demand.of_list
@@ -97,23 +99,36 @@ let seed_candidates spec topo paths envelope ~limit ~domains =
       | None -> [])
   in
   let candidates = List.filter admissible candidates in
+  let demand_for =
+    match spec.Bilevel.goal with Bilevel.Max_degradation -> hi | Bilevel.Min_failed_performance -> lo
+  in
+  (* one engine for the whole candidate sweep: prepare + healthy solve
+     once, then a warm overlay (or full rebuild, when batch is off) per
+     candidate *)
+  let eng =
+    Te.Simulate.prepare ~objective:spec.Bilevel.objective topo paths demand_for
+  in
+  let rebuild = not batch in
   let score s =
-    match spec.Bilevel.goal with
-    | Bilevel.Max_degradation -> (
-      match Te.Simulate.degradation ~objective:spec.Bilevel.objective topo paths hi s with
-      | Some d -> d
-      | None -> neg_infinity)
-    | Bilevel.Min_failed_performance -> (
-      match Te.Simulate.route ~objective:spec.Bilevel.objective topo paths lo s with
-      | Some r -> (
-        match spec.Bilevel.objective with
-        | Te.Formulation.Mlu _ -> r.Te.Simulate.performance
-        | Te.Formulation.Total_flow | Te.Formulation.Max_min _ ->
-          -.r.Te.Simulate.performance)
-      | None -> neg_infinity)
+    match eng with
+    | None -> neg_infinity (* healthy network cannot route the demand *)
+    | Some eng -> (
+      match spec.Bilevel.goal with
+      | Bilevel.Max_degradation -> (
+        match Te.Simulate.degradation_prepared ~rebuild eng s with
+        | Some d -> d
+        | None -> neg_infinity)
+      | Bilevel.Min_failed_performance -> (
+        match Te.Simulate.route_prepared ~rebuild eng s with
+        | Some r -> (
+          match spec.Bilevel.objective with
+          | Te.Formulation.Mlu _ -> r.Te.Simulate.performance
+          | Te.Formulation.Total_flow | Te.Formulation.Max_min _ ->
+            -.r.Te.Simulate.performance)
+        | None -> neg_infinity))
   in
   let scored =
-    (* one independent simulator LP per candidate: the sweep the pool
+    (* one independent scenario solve per candidate: the sweep the pool
        parallelizes; scores come back in candidate order *)
     let arr = Array.of_list candidates in
     Array.to_list (par_map ~domains (fun s -> (score s, s)) arr)
@@ -125,9 +140,6 @@ let seed_candidates spec topo paths envelope ~limit ~domains =
     | _ when n = 0 -> []
     | x :: tl -> x :: take (n - 1) tl
   in
-  let demand_for =
-    match spec.Bilevel.goal with Bilevel.Max_degradation -> hi | Bilevel.Min_failed_performance -> lo
-  in
   List.map (fun (_, s) -> (s, demand_for)) (take limit scored)
 
 let analyze ?(options = default_options) topo paths envelope =
@@ -138,6 +150,7 @@ let analyze ?(options = default_options) topo paths envelope =
     | limit ->
       let limit = Option.value limit ~default:6 in
       seed_candidates options.spec topo paths envelope ~limit ~domains:options.domains
+        ~batch:options.batch
       |> List.map (fun (s, d) -> Bilevel.hint built ~scenario:s ~demand:d)
   in
   let solver_options =

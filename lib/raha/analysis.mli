@@ -45,6 +45,15 @@ type options = {
           [Milp.Cuts.disabled] (the CLI/bench [--no-cuts] flags)
           restores the cut-free search exactly, and [--cut-rounds N]
           overrides the number of root separation rounds. *)
+  batch : bool;
+      (** route scenario-evaluation sweeps (seed candidate scoring here,
+          Monte Carlo and enumeration in {!Te.Monte_carlo} /
+          {!Baselines}) through the batched engine
+          ({!Te.Simulate.prepare}): one symbolic factorization, rhs
+          overlays, warm dual solves. Default [true]; [false] (the
+          CLI/bench [--no-batch] flags) rebuilds the per-scenario
+          structures instead — bit-identical results, full per-scenario
+          cost. *)
 }
 
 val default_options : options

@@ -5,14 +5,23 @@ type enumeration = {
   elapsed : float;
 }
 
-let enumerate_failures ?(objective = Te.Formulation.Total_flow) ?(domains = 1) ?pool ~k
-    topo paths demand =
+let enumerate_failures ?(objective = Te.Formulation.Total_flow) ?(domains = 1) ?pool
+    ?(batch = true) ~k topo paths demand =
   let t0 = Unix.gettimeofday () in
   let scenarios = Array.of_list (Failure.Enumerate.up_to_k topo ~k) in
+  (* One engine for the whole sweep: the healthy LP is solved exactly
+     once (the pre-batch implementation re-solved it inside every
+     [Simulate.degradation] call) and, on the batch path, so are the
+     formulation, CSC structure and symbolic factorization. *)
+  let eng = Te.Simulate.prepare ~objective topo paths demand in
+  let rebuild = not batch in
   let eval s =
-    match Te.Simulate.degradation ~objective topo paths demand s with
-    | Some d -> d
-    | None -> neg_infinity (* infeasible routing (disconnected MLU pair) *)
+    match eng with
+    | None -> neg_infinity (* healthy network cannot route the demand *)
+    | Some eng -> (
+      match Te.Simulate.degradation_prepared ~rebuild eng s with
+      | Some d -> d
+      | None -> neg_infinity (* infeasible routing (disconnected MLU pair) *))
   in
   let degs =
     match pool with

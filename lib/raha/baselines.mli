@@ -25,12 +25,18 @@ type enumeration = {
     OCaml domains (or on [pool], which takes precedence). The result is
     identical for any parallelism (ties break toward the first scenario
     in enumeration order).
+
+    Scenarios go through the batched engine ({!Te.Simulate.prepare}):
+    one prepare, one healthy solve, rhs overlays warm-started from the
+    healthy basis. [batch = false] rebuilds the per-scenario structure
+    instead ([--no-batch]); results are bit-identical either way.
     @raise Invalid_argument when the scenario count explodes (see
     {!Failure.Enumerate.up_to_k}). *)
 val enumerate_failures :
   ?objective:Te.Formulation.objective ->
   ?domains:int ->
   ?pool:Parallel.Pool.t ->
+  ?batch:bool ->
   k:int ->
   Wan.Topology.t ->
   Netpath.Path_set.t ->

@@ -13,7 +13,12 @@ type pair_cols = {
   path_cols : int array;
 }
 
-type index = { pair_arr : pair_cols array; u_col : int option }
+type index = {
+  pair_arr : pair_cols array;
+  u_col : int option;
+  cap_rows : int array;
+  ext_rows : int array array;
+}
 
 let rhs_of_value = function
   | C c -> Lp_spec.Const c
@@ -31,8 +36,12 @@ let build ~objective ~topo ~paths ~lag_cap ~demand ?path_cap ~d_max () =
     cols := { Lp_spec.cname; obj; ub_hint } :: !cols;
     i
   in
-  let rows = ref [] in
+  let rows = ref [] and n_rows = ref 0 in
+  (* row index = order of add_row calls (the list is reversed below),
+     which is also the model constraint / sparse rhs index Lp_spec
+     preserves — what the batch overlay path patches by *)
   let add_row rname terms rel rhs slack_bound =
+    incr n_rows;
     rows := { Lp_spec.rname; terms; rel; rhs; slack_bound } :: !rows
   in
   (* flow columns, one per (pair, path) *)
@@ -114,6 +123,10 @@ let build ~objective ~topo ~paths ~lag_cap ~demand ?path_cap ~d_max () =
     pair_arr;
   (* LAG capacity / utilization rows *)
   let num_lags = Wan.Topology.num_lags topo in
+  (* only Total_flow/Max_min capacity rows carry a scenario-dependent
+     rhs (MLU keeps its utilization rows constant, Appendix A), so only
+     those get a row index for the batch overlay path *)
+  let cap_rows = Array.make num_lags (-1) in
   for e = 0 to num_lags - 1 do
     let terms = ref [] in
     Array.iter
@@ -128,6 +141,7 @@ let build ~objective ~topo ~paths ~lag_cap ~demand ?path_cap ~d_max () =
       | Total_flow | Max_min _ ->
         let cap = lag_cap e in
         let bound = match cap with C c -> c | E _ -> Wan.Lag.capacity (Wan.Topology.lag topo e) in
+        cap_rows.(e) <- !n_rows;
         add_row (Printf.sprintf "cap_e%d" e) !terms Lp_spec.Le (rhs_of_value cap) bound
       | Mlu { u_max } -> (
         match lag_cap e with
@@ -143,6 +157,9 @@ let build ~objective ~topo ~paths ~lag_cap ~demand ?path_cap ~d_max () =
   | Mlu { u_max }, Some u -> add_row "u_cap" [ (u, 1.) ] Lp_spec.Le (Lp_spec.Const u_max) u_max
   | _ -> ());
   (* path extension capacity rows (Eq. 5) *)
+  let ext_rows =
+    Array.map (fun pc -> Array.make (Array.length pc.path_cols) (-1)) pair_arr
+  in
   (match path_cap with
   | None -> ()
   | Some f ->
@@ -153,6 +170,7 @@ let build ~objective ~topo ~paths ~lag_cap ~demand ?path_cap ~d_max () =
             match f ~pair:k ~path:j with
             | None -> ()
             | Some v ->
+              ext_rows.(k).(j) <- !n_rows;
               add_row
                 (Printf.sprintf "ext_k%d_p%d" k j)
                 [ (col, 1.) ]
@@ -173,7 +191,7 @@ let build ~objective ~topo ~paths ~lag_cap ~demand ?path_cap ~d_max () =
       dual_bound;
     }
   in
-  (spec, { pair_arr; u_col })
+  (spec, { pair_arr; u_col; cap_rows; ext_rows })
 
 let add_rows spec extra =
   { spec with Lp_spec.rows = Array.append spec.Lp_spec.rows (Array.of_list extra) }

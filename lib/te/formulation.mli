@@ -33,6 +33,15 @@ type pair_cols = {
 type index = {
   pair_arr : pair_cols array;
   u_col : int option;  (** the MLU variable's column, if any *)
+  cap_rows : int array;
+      (** per LAG: spec-row index of its capacity row, [-1] when absent
+          (no path crosses the LAG, or MLU mode — whose utilization
+          rows are scenario-independent, Appendix A). Row indices match
+          the model-constraint / sparse-rhs order {!Lp_spec.to_model}
+          preserves: what {!Milp.Batch} patches. *)
+  ext_rows : int array array;
+      (** per (pair, path): spec-row index of the extension-capacity
+          row, [-1] when [path_cap] returned [None] for it *)
 }
 
 (** [build ~objective ~topo ~paths ~lag_cap ~demand ?path_cap ~d_max ()]

@@ -27,40 +27,50 @@ let sample_scenario rng topo =
    [~seed] — the determinism contract DESIGN.md documents. *)
 let rng_block = 64
 
-let sample_degradations ?(objective = Formulation.Total_flow) ?(domains = 1) ?pool ~seed
-    ~samples topo paths demand =
+let sample_degradations ?(objective = Formulation.Total_flow) ?(domains = 1) ?pool
+    ?(batch = true) ?(batch_size = rng_block) ~seed ~samples topo paths demand =
   if samples <= 0 then invalid_arg "Monte_carlo.sample_degradations: samples <= 0";
-  let healthy =
-    match Simulate.healthy ~objective topo paths demand with
-    | Some h -> h
+  if batch_size <= 0 then
+    invalid_arg "Monte_carlo.sample_degradations: batch_size <= 0";
+  let eng =
+    match Simulate.prepare ~objective topo paths demand with
+    | Some e -> e
     | None -> invalid_arg "Monte_carlo: healthy network cannot route the demand"
   in
-  let degradations = Array.make samples 0. in
+  let healthy = Simulate.engine_healthy eng in
+  (* phase 1: draw every scenario up front, in the fixed block layout —
+     the draws are exactly the ones the pre-batch implementation made *)
   let scenarios = Array.make samples Failure.Scenario.empty in
-  let sample_block b =
+  for b = 0 to ((samples + rng_block - 1) / rng_block) - 1 do
     let rng = Random.State.make [| seed; b |] in
     let hi = min samples ((b + 1) * rng_block) in
     for i = b * rng_block to hi - 1 do
-      let s = sample_scenario rng topo in
-      scenarios.(i) <- s;
+      scenarios.(i) <- sample_scenario rng topo
+    done
+  done;
+  (* phase 2: solve in chunks of [batch_size]. Every scenario
+     warm-starts from the same shared healthy basis (never chained), so
+     the values are independent of batch_size, domain count and
+     scheduling; batch_size only sets the work-chunk granularity. *)
+  let degradations = Array.make samples 0. in
+  let rebuild = not batch in
+  let solve_chunk c =
+    let hi = min samples ((c + 1) * batch_size) in
+    for i = c * batch_size to hi - 1 do
       degradations.(i) <-
-        (match Simulate.route ~objective ~healthy topo paths demand s with
-        | Some f -> (
-          match objective with
-          | Formulation.Mlu _ -> f.Simulate.performance -. healthy.Simulate.performance
-          | Formulation.Total_flow | Formulation.Max_min _ ->
-            healthy.Simulate.performance -. f.Simulate.performance)
+        (match Simulate.degradation_prepared ~rebuild eng scenarios.(i) with
+        | Some d -> d
         | None -> healthy.Simulate.performance)
     done
   in
-  let blocks = Array.init ((samples + rng_block - 1) / rng_block) Fun.id in
+  let chunks = Array.init ((samples + batch_size - 1) / batch_size) Fun.id in
   (match pool with
-  | Some pool -> Parallel.Pool.iter_array pool sample_block blocks
+  | Some pool -> Parallel.Pool.iter_array pool solve_chunk chunks
   | None ->
-    if domains <= 1 then Array.iter sample_block blocks
+    if domains <= 1 then Array.iter solve_chunk chunks
     else
       Parallel.Pool.with_pool ~counters:Milp.Solver.stats_counters ~domains (fun pool ->
-          Parallel.Pool.iter_array pool sample_block blocks));
+          Parallel.Pool.iter_array pool solve_chunk chunks));
   (degradations, scenarios)
 
 let summarize degradations scenarios =

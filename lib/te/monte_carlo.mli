@@ -29,11 +29,22 @@ type summary = {
     OCaml domains (or a caller-supplied [pool], which takes precedence).
     The block layout is independent of the parallelism, so the returned
     arrays are bit-identical for a given [seed] whatever [domains] is;
-    [domains = 1] (the default) runs inline on the caller. *)
+    [domains = 1] (the default) runs inline on the caller.
+
+    Scenarios are solved through the batched engine ({!Simulate.prepare}):
+    one shared prepared structure, rhs overlays, warm dual solves from
+    the healthy basis. [batch = false] (the [--no-batch] arm) rebuilds
+    formulation + prepared structure per scenario instead — bit-identical
+    results, full per-scenario cost. [batch_size] (default 64) only sets
+    the chunk granularity fanned over domains; every scenario warm-starts
+    from the same healthy basis, never from a neighbour, so results are
+    independent of [batch], [batch_size], [domains] and scheduling. *)
 val sample_degradations :
   ?objective:Formulation.objective ->
   ?domains:int ->
   ?pool:Parallel.Pool.t ->
+  ?batch:bool ->
+  ?batch_size:int ->
   seed:int ->
   samples:int ->
   Wan.Topology.t ->

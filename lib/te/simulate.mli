@@ -65,3 +65,51 @@ val degradation :
   Traffic.Demand.t ->
   Failure.Scenario.t ->
   float option
+
+(** {1 Batched scenario engine}
+
+    One symbolic factorization, thousands of warm-started scenario
+    solves (DESIGN.md §12). [prepare] builds the TE LP once with every
+    extension-capacity row present and runs one cold solve of the
+    healthy network; each scenario is then a pure rhs overlay
+    ([Milp.Batch]) solved by the dual simplex warm-started from the
+    healthy optimal basis. An engine is immutable after [prepare] and
+    safe to share across domains. *)
+
+type engine
+
+(** [prepare ~objective topo paths demand] builds the shared structure
+    and solves the healthy network (the warm-start seed). [None] when
+    even the healthy network cannot route the demand (same condition as
+    {!healthy} returning [None]). Only [Optimal_failover] reactions are
+    supported — naive fail-over changes the row structure per scenario. *)
+val prepare :
+  ?objective:Formulation.objective ->
+  Wan.Topology.t ->
+  Netpath.Path_set.t ->
+  Traffic.Demand.t ->
+  engine option
+
+(** The healthy-network routing computed by [prepare]. Its performance
+    can differ from {!healthy}'s last bits: the engine's LP carries
+    extension rows for every path whereas {!route} omits rows for open
+    paths, so the simplex may stop at a different optimal vertex. The
+    optimal objective value is the same up to solver tolerance. *)
+val engine_healthy : engine -> result
+
+(** [route_prepared ~rebuild eng scenario] routes the engine's demand
+    under [scenario]. [rebuild = false] (default) is the batched path:
+    rhs overlay + warm dual solve on the shared prepared structure.
+    [rebuild = true] is the per-scenario-prepare comparator (the
+    [--no-batch] arm): formulation, model, CSC structure and
+    factorization are rebuilt from scratch for this scenario and solved
+    with the same warm basis — bit-identical solver inputs, hence
+    bit-identical results, while paying the full structural cost the
+    batch path amortizes. *)
+val route_prepared : ?rebuild:bool -> engine -> Failure.Scenario.t -> result option
+
+(** {!degradation} against the engine's healthy baseline: healthy minus
+    failed performance (Total_flow / Max_min), failed minus healthy MLU
+    (Mlu). [None] when the scenario LP is infeasible. *)
+val degradation_prepared :
+  ?rebuild:bool -> engine -> Failure.Scenario.t -> float option

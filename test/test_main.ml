@@ -14,6 +14,7 @@ let () =
       ("simplex diff", Test_simplex_diff.suite);
       ("revised simplex", Test_revised.suite);
       ("cuts", Test_cuts.suite);
+      ("batch", Test_batch.suite);
       ("certify", Test_certify.suite);
       ("parallel", Test_parallel.suite);
     ]
