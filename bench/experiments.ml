@@ -938,6 +938,155 @@ let batch_bench ctx =
   row
     "(off rebuilds formulation+factorization per scenario; on pays them once.      bwarm counts warm dual overlay solves, certify the Batch.check audits —      failures must be 0)@."
 
+(* ---------------------------------------------------------------- service *)
+
+(* Always-on degradation service (DESIGN.md §13): a recorded telemetry
+   stream with interleaved worst-case / "now" / status queries, replayed
+   through the Service.Core ingestion + invalidation + incremental
+   re-solve loop (service arm) versus an arm that reconstructs state and
+   solves cold for every query (cold arm). The service arm is run at
+   domains=1 and domains=4 and the two stripped answer sequences must be
+   bit-identical; the per-worst-query solve-relevant fields must also
+   agree between the service and cold arms — an answer is only ever
+   reused when a full re-solve would have said the same thing. The
+   [counters:] lines carry no wall clock (CI double-runs and diffs
+   them); measured queries/sec rows go to BENCH_service.json. *)
+let service_bench ctx =
+  section ctx ~id:"service"
+    ~paper:"always-on service: streaming ingestion, invalidation, incremental re-solve (DESIGN.md §13)"
+    ~config:"africa-like WAN (8 nodes), telemetry replay with interleaved queries, service vs cold-per-query";
+  let topo, pairs = wan_small () in
+  let paths = paths_of topo pairs in
+  let envelope = Traffic.Envelope.around ~slack:0.3 (base_demand pairs) in
+  let sp = spec ~max_failures:1 () in
+  let cfg domains =
+    {
+      Service.Core.paths;
+      envelope;
+      options = { (options ctx sp) with Raha.Analysis.domains };
+      drift_tol = 0.30;
+    }
+  in
+  (* recorded stream: exponential outage traces on the first 6 lags,
+     merged by time, with queries woven in — a "now" check after every
+     event, a hypothetical overlay every 2nd, a worst-case refresh every
+     4th *)
+  let module Ev = Service.Event in
+  let events =
+    let per_link =
+      List.concat
+        (List.init (min 6 (Wan.Topology.num_lags topo)) (fun e ->
+             List.concat_map
+               (fun (o : Failure.Renewal.event) ->
+                 [
+                   (o.Failure.Renewal.down_at,
+                    Ev.Link_down { lag = e; link = 0; at = o.Failure.Renewal.down_at });
+                   (o.Failure.Renewal.up_at,
+                    Ev.Link_up { lag = e; link = 0; at = o.Failure.Renewal.up_at });
+                 ])
+               (Failure.Trace.exponential ~seed:(31 + e) ~mean_uptime:60.
+                  ~mean_downtime:3. ~horizon:(if ctx.quick then 90. else 150.) ())))
+    in
+    List.map snd (List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) per_link)
+  in
+  let worst = Ev.Query (Ev.Worst { budget = None; max_nodes = None }) in
+  let script =
+    let n = ref 0 in
+    List.concat_map
+      (fun e ->
+        incr n;
+        [ Ev.Event e; Ev.Query (Ev.Now { down = None }) ]
+        @ (if !n mod 2 = 0 then
+             [ Ev.Query (Ev.Now { down = Some [ (!n mod 6, 0) ] }) ]
+           else [])
+        @ if !n mod 2 = 1 then [ worst ] else [])
+      events
+    @ [ worst; Ev.Query Ev.Status ]
+  in
+  let n_events = List.length events in
+  let n_queries = List.length script - n_events in
+  let n_worst =
+    List.length (List.filter (function Ev.Query (Ev.Worst _) -> true | _ -> false) script)
+  in
+  let render j = Service.Json.to_string (Service.Core.strip_volatile j) in
+  let is_query = function Ev.Query _ -> true | _ -> false in
+  let cert_ok rendered =
+    match Service.Json.of_string rendered with
+    | Error _ -> false
+    | Ok j -> (
+      match Service.Json.to_str (Service.Json.member "cert" j) with
+      | Some c -> c = "ok"
+      | None -> true (* status / event acks carry no cert *))
+  in
+  (* solve-relevant projection for the service-vs-cold agreement check *)
+  let stable rendered =
+    match Service.Json.of_string rendered with
+    | Error m -> "unparseable: " ^ m
+    | Ok j ->
+      Service.Json.to_string
+        (Service.Json.Obj
+           (List.map
+              (fun k -> (k, Service.Json.member k j))
+              [ "status"; "degradation"; "normalized"; "bound"; "scenario"; "num_failed_links" ]))
+  in
+  let service_arm domains =
+    let core = Service.Core.create (cfg domains) topo in
+    let t0 = Unix.gettimeofday () in
+    let out = List.map (fun r -> (r, render (Service.Core.handle core r))) script in
+    let dt = Unix.gettimeofday () -. t0 in
+    (List.filter_map (fun (r, o) -> if is_query r then Some o else None) out,
+     dt, Service.Core.tally core)
+  in
+  let cold_arm () =
+    (* fresh core per query: replay the event prefix, then solve cold *)
+    let t0 = Unix.gettimeofday () in
+    let prefix = ref [] in
+    let out =
+      List.filter_map
+        (fun r ->
+          match r with
+          | Ev.Event _ ->
+            prefix := r :: !prefix;
+            None
+          | _ ->
+            let core = Service.Core.create (cfg 1) topo in
+            List.iter
+              (fun e -> ignore (Service.Core.handle core e))
+              (List.rev !prefix);
+            Some (render (Service.Core.handle core r)))
+        script
+    in
+    (out, Unix.gettimeofday () -. t0)
+  in
+  let out1, dt1, (n_cached, n_warm, n_cold) = service_arm 1 in
+  let out4, _, _ = service_arm 4 in
+  let outc, dtc = cold_arm () in
+  let identical = out1 = out4 in
+  let worsts outs =
+    List.filter_map
+      (fun (r, o) -> match r with Ev.Query (Ev.Worst _) -> Some (stable o) | _ -> None)
+      (List.combine (List.filter is_query script) outs)
+  in
+  let agree = worsts out1 = worsts outc in
+  let all_cert outs = List.for_all cert_ok outs in
+  let cert = all_cert out1 && all_cert outc in
+  let qps dt = float_of_int n_queries /. Float.max 1e-9 dt in
+  row "%-10s %-8s %-9s %-8s %-22s@." "arm" "queries" "time(s)" "q/s" "worst served c/w/k";
+  row "%-10s %-8d %-9.2f %-8.0f %d/%d/%d@." "service" n_queries dt1 (qps dt1)
+    n_cached n_warm n_cold;
+  row "%-10s %-8d %-9.2f %-8.0f 0/0/%d@." "cold" n_queries dtc (qps dtc) n_worst;
+  row
+    "service answers %.1fx more queries/sec; warm-hit rate %d/%d worst queries (%d cached + %d warm), %d cold@."
+    (dtc /. Float.max 1e-9 dt1)
+    (n_cached + n_warm) n_worst n_cached n_warm n_cold;
+  row
+    "counters: service | events=%d queries=%d worst=%d served c/w/k=%d/%d/%d cert=%s identical(domains 1v4)=%b agree(service=cold)=%b@."
+    n_events n_queries n_worst n_cached n_warm n_cold
+    (if cert then "ok" else "FAIL")
+    identical agree;
+  row
+    "(the cold arm reconstructs state and solves from scratch per query;      the service invalidation policy re-solves only on estimate drift,      support hits or structural change — warm re-solves reuse the      persisted cut pool and the screening engine's basis overlays)@."
+
 (* -------------------------------------------------------------------- ffc *)
 
 let ffc ctx =
@@ -1000,5 +1149,6 @@ let all : (string * string * (ctx -> unit)) list =
     ("cuts", "cutting planes (Gomory/cover/clique pool) on vs off", cuts_bench);
     ("montecarlo", "Monte Carlo sampling vs Raha's worst case (§1)", montecarlo);
     ("batch", "batched scenario engine (overlay + warm) on vs off", batch_bench);
+    ("service", "always-on service vs cold-solve-per-query replay", service_bench);
     ("ffc", "FFC-protected network still degrades beyond k (§2.2)", ffc);
   ]

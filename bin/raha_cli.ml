@@ -419,6 +419,72 @@ let alert_cmd =
     (Cmd.info "alert" ~doc:"Two-stage online alert: fixed peak first, then any demand.")
     Term.(const run $ setup_term $ tolerance_arg)
 
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let drift_tol_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "drift-tol" ] ~docv:"D"
+          ~doc:
+            "Serve the cached worst-case answer while every per-link failure               probability estimate has drifted by at most D since it was               computed; above that, re-solve warm.")
+  in
+  let run setup socket drift_tol =
+    let core =
+      Service.Core.create
+        {
+          Service.Core.paths = setup.paths;
+          envelope = setup.envelope;
+          options = setup.options;
+          drift_tol;
+        }
+        setup.topo
+    in
+    Service.Server.run ~socket core
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the always-on degradation service: ingest link telemetry events,               answer certified worst-case and \"now\" queries over a Unix socket.")
+    Term.(const run $ setup_term $ socket_arg $ drift_tol_arg)
+
+let query_cmd =
+  let line_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REQUEST" ~doc:"One protocol request as a JSON line.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "retries" ]
+          ~doc:"Connect attempts (50ms apart) while the server starts up.")
+  in
+  let run socket retries line =
+    match Service.Server.request ~socket ~retries line with
+    | Ok resp ->
+      print_endline resp;
+      if
+        match Service.Json.of_string resp with
+        | Ok j -> Service.Json.to_bool (Service.Json.member "ok" j) = Some true
+        | Error _ -> false
+      then exit 0
+      else exit 1
+    | Error msg ->
+      prerr_endline msg;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Send one JSON request line to a running $(b,raha serve) daemon and               print the response line. Exits 0 on an $(b,ok) response, 1 on a               protocol error, 2 on a connection failure.")
+    Term.(const run $ socket_arg $ retries_arg $ line_arg)
+
 let () =
   let doc = "analyze probable WAN degradation under failures and traffic shifts" in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -426,4 +492,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default
           (Cmd.info "raha" ~version:"1.0.0" ~doc)
-          [ info_cmd; analyze_cmd; augment_cmd; alert_cmd ]))
+          [ info_cmd; analyze_cmd; augment_cmd; alert_cmd; serve_cmd; query_cmd ]))

@@ -51,3 +51,109 @@ let mttr events =
   if events = [] then invalid_arg "Renewal.mttr: empty trace";
   List.fold_left (fun acc e -> acc +. (e.up_at -. e.down_at)) 0. events
   /. float_of_int (List.length events)
+
+(* Incremental estimator: the running-sum form of the batch functions
+   above. Each closed outage is folded once, in chronological order, with
+   the same floating-point operations the batch folds perform, so every
+   reading is bit-identical to the batch function applied to the folded
+   prefix (the test suite checks this on every prefix of generated
+   traces). An open outage (link currently down, repair pending) is
+   carried separately and clipped at the estimation horizon. *)
+module Incr = struct
+  type t = {
+    n : int;  (* closed outages folded *)
+    down_sum : float;  (* sum of closed-outage downtimes, fold order *)
+    tail_down_sum : float;  (* same sum excluding the first outage *)
+    cycle_sum : float;  (* last_up - first_up accumulated per event *)
+    first_down : float;
+    first_up : float;
+    last_down : float;
+    last_up : float;
+    open_at : float option;  (* down_at of the open outage, if any *)
+  }
+
+  let empty =
+    {
+      n = 0;
+      down_sum = 0.;
+      tail_down_sum = 0.;
+      cycle_sum = 0.;
+      first_down = nan;
+      first_up = nan;
+      last_down = nan;
+      last_up = Float.neg_infinity;
+      open_at = None;
+    }
+
+  let count t = t.n
+  let is_down t = t.open_at <> None
+
+  let down t ~at =
+    if t.open_at <> None then invalid_arg "Renewal.Incr.down: link already down";
+    if at < t.last_up then invalid_arg "Renewal.Incr.down: out-of-order event";
+    { t with open_at = Some at }
+
+  let up t ~at =
+    match t.open_at with
+    | None -> invalid_arg "Renewal.Incr.up: link is not down"
+    | Some down_at ->
+      if at <= down_at then invalid_arg "Renewal.Incr.up: non-positive outage";
+      let d = at -. down_at in
+      if t.n = 0 then
+        {
+          n = 1;
+          down_sum = 0. +. d;
+          tail_down_sum = 0.;
+          cycle_sum = 0.;
+          first_down = down_at;
+          first_up = at;
+          last_down = down_at;
+          last_up = at;
+          open_at = None;
+        }
+      else
+        {
+          t with
+          n = t.n + 1;
+          down_sum = t.down_sum +. d;
+          (* the batch estimate_ratio fold accumulates (up - prev_up) and
+             the tail downtimes in repair-to-repair order *)
+          tail_down_sum = t.tail_down_sum +. d;
+          cycle_sum = t.cycle_sum +. (at -. t.last_up);
+          last_down = down_at;
+          last_up = at;
+          open_at = None;
+        }
+
+  let add t (e : event) = up (down t ~at:e.down_at) ~at:e.up_at
+
+  let of_events events = List.fold_left add empty events
+
+  let estimate ~horizon t =
+    if horizon <= 0. then invalid_arg "Renewal.Incr.estimate: non-positive horizon";
+    if t.n > 0 && horizon < t.last_up then
+      invalid_arg "Renewal.Incr.estimate: horizon precedes folded events";
+    let downtime =
+      match t.open_at with
+      | None -> t.down_sum
+      | Some down_at ->
+        (* matches the batch fold on events @ [open outage clipped at the
+           horizon]: min up h -. min down h = max 0 (h -. down) here, so
+           an outage opening past the horizon contributes nothing *)
+        t.down_sum +. Float.max 0. (horizon -. down_at)
+    in
+    Float.min 1. (downtime /. horizon)
+
+  let estimate_ratio t =
+    if t.n < 2 || t.cycle_sum <= 0. then
+      invalid_arg "Renewal.Incr.estimate_ratio: degenerate trace";
+    t.tail_down_sum /. t.cycle_sum
+
+  let mtbf t =
+    if t.n < 2 then invalid_arg "Renewal.Incr.mtbf: need at least two events";
+    (t.last_down -. t.first_down) /. float_of_int (t.n - 1)
+
+  let mttr t =
+    if t.n = 0 then invalid_arg "Renewal.Incr.mttr: empty trace";
+    t.down_sum /. float_of_int t.n
+end

@@ -26,3 +26,56 @@ val mtbf : event list -> float
 
 (** Mean time to repair. *)
 val mttr : event list -> float
+
+(** Incremental renewal-reward estimation for streaming telemetry.
+
+    The batch functions above re-walk the whole event list per reading —
+    O(events) per update, which a long-lived ingestion loop cannot
+    afford. [Incr] folds one transition at a time into running cycle
+    sums (O(1) per event) and is {e bit-identical} to the batch
+    functions on every prefix: [Incr.estimate ~horizon (Incr.of_events
+    es) = estimate ~horizon es] to the last float bit whenever [horizon]
+    does not precede the folded events, and likewise for
+    [estimate_ratio], [mtbf] and [mttr]. Unlike the batch API it also
+    carries an {e open} outage (link currently down, repair pending),
+    clipped at the estimation horizon exactly as {!estimate} clips
+    events straddling its horizon. *)
+module Incr : sig
+  type t
+
+  val empty : t
+
+  (** Closed outages folded so far. *)
+  val count : t -> int
+
+  (** True when an open outage is pending ([down] seen, no [up] yet). *)
+  val is_down : t -> bool
+
+  (** [down t ~at] opens an outage.
+      @raise Invalid_argument if the link is already down or [at]
+      precedes the last repair. *)
+  val down : t -> at:float -> t
+
+  (** [up t ~at] closes the open outage.
+      @raise Invalid_argument if no outage is open or [at] is not after
+      its start. *)
+  val up : t -> at:float -> t
+
+  (** Fold one closed outage ([down] then [up]). *)
+  val add : t -> event -> t
+
+  val of_events : event list -> t
+
+  (** Downtime fraction over [0, horizon], the open outage clipped at
+      the horizon. Bit-identical to {!Renewal.estimate} on the folded
+      events (plus the clipped open outage).
+      @raise Invalid_argument when [horizon] is non-positive or precedes
+      folded events. *)
+  val estimate : horizon:float -> t -> float
+
+  (** Per-cycle renewal-reward form; needs >= 2 closed outages. *)
+  val estimate_ratio : t -> float
+
+  val mtbf : t -> float
+  val mttr : t -> float
+end

@@ -69,8 +69,11 @@ type cut = {
 }
 
 (* A knapsack row normalized to [sum a_j y_j <= cap] with a_j > 0 over
-   literals y_j = x_j ([true]) or 1 - x_j ([false]). *)
-type knap = { kcap : float; kitems : (float * int * bool) array }
+   literals y_j = x_j ([true]) or 1 - x_j ([false]). [krow] is the
+   index (into [Model.conss]) of the row it was derived from — the
+   cut's only premise, recorded so callers persisting cuts across
+   solves can check the premise still holds. *)
+type knap = { kcap : float; krow : int; kitems : (float * int * bool) array }
 
 (* Literals of the conflict graph: [2 * id + 1] for x_id = 1, [2 * id]
    for x_id = 0. *)
@@ -87,7 +90,7 @@ type pool = {
   ghi : float array;
   is_int : bool array;
   knaps : knap array;
-  conflict : (int * int, unit) Hashtbl.t;
+  conflict : (int * int, int) Hashtbl.t;  (* edge -> source row index *)
   graph_lits : int array;  (* sorted literals present in the graph *)
   mutable active : cut list;  (* activation order *)
   mutable nactive : int;
@@ -204,21 +207,23 @@ let audit ~incumbent cut =
 
 let le_rows model =
   (* every row as <= rows over its structural terms (Eq contributes
-     both directions); Model.add_cons already moved lhs constants to
-     the rhs *)
-  List.concat_map
-    (fun (c : Model.cons) ->
-      let ts = Linexpr.terms c.lhs in
-      let neg () = List.map (fun (k, id) -> (-.k, id)) ts in
-      match c.rel with
-      | Model.Le -> [ (ts, c.rhs) ]
-      | Model.Ge -> [ (neg (), -.c.rhs) ]
-      | Model.Eq -> [ (ts, c.rhs); (neg (), -.c.rhs) ])
-    (Array.to_list (Model.conss model))
+     both directions), each tagged with the index of the source
+     constraint in [Model.conss]; Model.add_cons already moved lhs
+     constants to the rhs *)
+  List.concat
+    (List.mapi
+       (fun i (c : Model.cons) ->
+         let ts = Linexpr.terms c.lhs in
+         let neg () = List.map (fun (k, id) -> (-.k, id)) ts in
+         match c.rel with
+         | Model.Le -> [ (ts, c.rhs, i) ]
+         | Model.Ge -> [ (neg (), -.c.rhs, i) ]
+         | Model.Eq -> [ (ts, c.rhs, i); (neg (), -.c.rhs, i) ])
+       (Array.to_list (Model.conss model)))
 
 let collect_knaps ~is_bin rows =
   List.filter_map
-    (fun (ts, rhs) ->
+    (fun (ts, rhs, row) ->
       let w = List.length ts in
       if w < 2 || w > 64 then None
       else if not (List.for_all (fun (_, id) -> is_bin id) ts) then None
@@ -240,7 +245,7 @@ let collect_knaps ~is_bin rows =
            business *)
         if List.length items < 2 || !cap <= 1e-9 || total <= !cap +. 1e-9 then
           None
-        else Some { kcap = !cap; kitems = Array.of_list items }
+        else Some { kcap = !cap; krow = row; kitems = Array.of_list items }
       end)
     rows
 
@@ -248,7 +253,7 @@ let collect_conflicts ~is_bin ~glo ~ghi rows =
   let conflict = Hashtbl.create 256 and lit_set = Hashtbl.create 64 in
   let budget = ref 100_000 in
   List.iter
-    (fun (ts, rhs) ->
+    (fun (ts, rhs, row) ->
       let bins = List.filter (fun (_, id) -> is_bin id) ts in
       let nbin = List.length bins in
       if nbin >= 2 && nbin <= 40 && !budget > 0 then begin
@@ -276,7 +281,7 @@ let collect_conflicts ~is_bin ~glo ~ghi rows =
                       let lj = if vj > 0.5 then lit_pos idj else lit_neg idj in
                       let k = conflict_key li lj in
                       if not (Hashtbl.mem conflict k) then begin
-                        Hashtbl.replace conflict k ();
+                        Hashtbl.replace conflict k row;
                         Hashtbl.replace lit_set li ();
                         Hashtbl.replace lit_set lj ();
                         decr budget
@@ -332,8 +337,10 @@ let create opts model =
   }
 
 (* ------------------------------------------------------------------ *)
-(* Separators. Each pushes (terms, rhs, family) candidates, with terms
-   over structural ids, onto [acc].                                    *)
+(* Separators. Each pushes (terms, rhs, family, deps) candidates, with
+   terms over structural ids and [deps] the source-row indices the
+   cut's validity rests on ([] when it rests on the whole model, as a
+   Gomory cut derived through B^-1 does).                              *)
 
 (* Greedy minimal-cover separation: minimize sum (1 - y) over the LP
    point subject to overflowing the capacity, taking items by ascending
@@ -381,7 +388,7 @@ let sep_cover pool x acc =
                 end)
               cover
           in
-          acc := (terms, float_of_int (size - 1 - !nneg), Cover) :: !acc
+          acc := (terms, float_of_int (size - 1 - !nneg), Cover, [ k.krow ]) :: !acc
         end
       end)
     pool.knaps
@@ -427,7 +434,21 @@ let sep_clique pool x acc =
                 end)
               !clique
           in
-          acc := (terms, 1. -. float_of_int !nneg, Clique) :: !acc
+          (* the clique cut rests on every pairwise conflict it uses;
+             each edge was derived from exactly one source row *)
+          let deps = ref [] in
+          let rec edges = function
+            | [] -> ()
+            | l :: rest ->
+              List.iter
+                (fun l' ->
+                  let row = Hashtbl.find pool.conflict (conflict_key l l') in
+                  if not (List.mem row !deps) then deps := row :: !deps)
+                rest;
+              edges rest
+          in
+          edges !clique;
+          acc := (terms, 1. -. float_of_int !nneg, Clique, !deps) :: !acc
         end
       end)
     arr
@@ -583,7 +604,7 @@ let sep_gomory pool ~sp ~rows ~bcols ~stats x acc =
               for k = nv - 1 downto 0 do
                 if acc_s.(k) <> 0. then terms := (-.acc_s.(k), k) :: !terms
               done;
-              acc := (!terms, -. !grhs, Gomory) :: !acc
+              acc := (!terms, -. !grhs, Gomory, []) :: !acc
             end
           end
         end)
@@ -608,7 +629,7 @@ let separate_round pool ~sp ~rows ~point ~basis ~incumbent =
     (* clean, normalize and keep the violated candidates *)
     let cands =
       List.filter_map
-        (fun (terms, rhs, fam) ->
+        (fun (terms, rhs, fam, _deps) ->
           Lp_stats.incr Lp_stats.cuts_generated;
           match clean_le pool terms rhs with
           | None -> None
@@ -689,6 +710,69 @@ let audit_incumbent pool x =
   pool.active <- keep;
   pool.nactive <- List.length keep;
   !dropped
+
+(* ------------------------------------------------------------------ *)
+(* Structural separation for cross-solve persistence                   *)
+
+type structural = {
+  s_terms : (float * int) list;
+  s_rhs : float;
+  s_family : family;
+  s_deps : int list;
+}
+
+let separate_structural opts model ~point =
+  (* Only the row-local families: a cover cut rests on its single
+     knapsack row and a clique cut on the rows behind its conflict
+     edges, so each survives any later solve whose model still contains
+     (an equal copy of) those rows. Gomory cuts are derived through
+     B^-1 from the whole row system and are excluded — no per-row
+     dependency list can license reusing one. *)
+  let pool = create { opts with gomory = false } model in
+  let raw = ref [] in
+  if opts.cover then sep_cover pool point raw;
+  if opts.clique then sep_clique pool point raw;
+  let cands =
+    List.filter_map
+      (fun (terms, rhs, fam, deps) ->
+        match clean_le pool terms rhs with
+        | None -> None
+        | Some (terms, rhs) -> (
+          match normalize terms rhs fam with
+          | None -> None
+          | Some cut ->
+            let viol = eval_cut cut point -. cut.rhs in
+            if viol > 1e-6 *. Float.max 1. (Float.abs cut.rhs) then
+              Some (viol, cut, List.sort_uniq compare deps)
+            else None))
+      !raw
+  in
+  let cands =
+    List.sort
+      (fun (v1, c1, _) (v2, c2, _) ->
+        let c = compare v2 v1 in
+        if c <> 0 then c else compare (key_of c1) (key_of c2))
+      cands
+  in
+  let seen = Hashtbl.create 16 in
+  let out = ref [] and n = ref 0 in
+  List.iter
+    (fun (_, cut, deps) ->
+      let key = key_of cut in
+      if !n < opts.pool_size && not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        incr n;
+        out :=
+          {
+            s_terms = Array.to_list cut.terms;
+            s_rhs = cut.rhs;
+            s_family = cut.family;
+            s_deps = deps;
+          }
+          :: !out
+      end)
+    cands;
+  List.rev !out
 
 let extend_model base pool =
   match pool.active with

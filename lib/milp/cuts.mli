@@ -119,6 +119,32 @@ val extend_model : Model.t -> pool -> Model.t
 
 val active_count : pool -> int
 
+(** A cut whose validity rests only on named rows of the separating
+    model, for {e cross-solve} persistence: [sum s_terms <= s_rhs]
+    (structural ids, max |coeff| = 1) is valid for {e any} model that
+    contains an equal copy of every row in [s_deps] (indices into the
+    separating model's [Model.conss]) with the same variable boxes on
+    the cut's support. Only the row-local families qualify — a cover
+    cut depends on its knapsack row, a clique cut on the rows behind
+    its conflict edges. Gomory cuts are never emitted here: they are
+    derived through the basis inverse from {e all} rows, so no
+    dependency list can license reuse. *)
+type structural = {
+  s_terms : (float * int) list;
+  s_rhs : float;
+  s_family : family;
+  s_deps : int list;  (** source-row indices, sorted, duplicate-free *)
+}
+
+(** [separate_structural opts model ~point] runs one cover + clique
+    separation round against [point] (structural values of [model]'s
+    LP relaxation) and returns the violated candidates with their row
+    dependencies — cleaned, normalized, most-violated-first, capped at
+    [opts.pool_size]. Pure: builds a throwaway pool, bumps no counters,
+    never touches [model]. *)
+val separate_structural :
+  options -> Model.t -> point:float array -> structural list
+
 (** Active cuts in activation order (for tests and diagnostics). *)
 val active_cuts : pool -> cut list
 

@@ -61,3 +61,63 @@ let fread k () = !(Domain.DLS.get k)
 let reset_all () =
   List.iter (fun k -> Domain.DLS.get k := 0) int_keys;
   List.iter (fun k -> Domain.DLS.get k := 0.) float_keys
+
+(* --- per-query scopes --------------------------------------------------
+
+   [reset_all] is a one-shot-CLI tool: in a long-lived daemon it would
+   wipe the process-lifetime telemetry, and two queries separated only
+   by cumulative reads would smear into each other. A scope instead
+   samples the calling domain's counters at entry and reports
+   since-entry deltas at exit, leaving the cumulative values untouched.
+   The float high-water marks cannot be delta'd (they are maxes), so a
+   scope saves them, zeroes them for the query, and folds the query's
+   marks back into the saved values at exit — the global high-water
+   mark is preserved as the max over queries. Scopes must therefore be
+   exited in LIFO order on their own domain (the service serves queries
+   sequentially per domain, so this holds by construction). *)
+
+let float_names = [ "certify-max-primal-residual"; "certify-max-dual-gap" ]
+
+type scope = {
+  sc_hooks : (string * (unit -> int)) list;
+  sc_ints : int array;  (* hook readings at entry *)
+  sc_floats : float array;  (* saved high-water marks, [float_keys] order *)
+}
+
+let scope_enter ?(hooks = []) () =
+  let sc_ints = Array.of_list (List.map (fun (_, f) -> f ()) hooks) in
+  let sc_floats =
+    Array.of_list
+      (List.map
+         (fun k ->
+           let r = Domain.DLS.get k in
+           let v = !r in
+           r := 0.;
+           v)
+         float_keys)
+  in
+  { sc_hooks = hooks; sc_ints; sc_floats }
+
+type scope_report = {
+  scope_counters : (string * int) list;  (* per-scope hook deltas *)
+  scope_fmax : (string * float) list;  (* per-scope high-water marks *)
+}
+
+let scope_exit scope =
+  let scope_counters =
+    List.mapi
+      (fun i (name, f) -> (name, f () - scope.sc_ints.(i)))
+      scope.sc_hooks
+  in
+  let scope_fmax =
+    List.mapi
+      (fun i k ->
+        let r = Domain.DLS.get k in
+        let query_max = !r in
+        (* restore: global mark = max of the pre-scope mark and this
+           query's *)
+        r := Float.max query_max scope.sc_floats.(i);
+        (List.nth float_names i, query_max))
+      float_keys
+  in
+  { scope_counters; scope_fmax }

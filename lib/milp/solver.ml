@@ -16,6 +16,7 @@ type options = {
   dense_simplex : bool;
   certify : bool;
   cuts : Cuts.options;
+  sx_iters : int option;
 }
 
 (* The values shared with branch-and-bound are derived from
@@ -36,6 +37,7 @@ let default_options =
     dense_simplex = false;
     certify = true;
     cuts = d.Branch_bound.cuts;
+    sx_iters = d.Branch_bound.sx_iters;
   }
 
 let engine_of options =
@@ -71,7 +73,10 @@ let solve_direct ~options ~t0 model =
       elapsed = Unix.gettimeofday () -. t0 }
   in
   if Model.num_int_vars model = 0 then
-    match Simplex.solve_prepared ~engine:(engine_of options) (Simplex.prepare model) with
+    match
+      Simplex.solve_prepared ~engine:(engine_of options)
+        ?max_iters:options.sx_iters (Simplex.prepare model)
+    with
     | Simplex.Optimal { obj; values }, basis ->
       let statuses =
         match basis with Some b -> Simplex.var_statuses b | None -> [||]
@@ -83,8 +88,7 @@ let solve_direct ~options ~t0 model =
   else begin
     let bb_options =
       {
-        Branch_bound.default with
-        max_nodes = options.max_nodes;
+        Branch_bound.max_nodes = options.max_nodes;
         time_limit = options.time_limit;
         abs_gap = options.abs_gap;
         rel_gap = options.rel_gap;
@@ -95,6 +99,7 @@ let solve_direct ~options ~t0 model =
         plunge_hints = options.plunge_hints;
         engine = engine_of options;
         cuts = options.cuts;
+        sx_iters = options.sx_iters;
       }
     in
     let r = Branch_bound.solve ~options:bb_options model in

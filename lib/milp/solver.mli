@@ -38,6 +38,13 @@ type options = {
           knapsack cover and clique cuts over a managed pool). Default
           {!Cuts.default}; [Cuts.disabled] ([--no-cuts] at the CLI)
           restores the cut-free search exactly. *)
+  sx_iters : int option;
+      (** simplex pivot budget per LP (default [None] = unlimited),
+          threaded to {!Branch_bound.options.sx_iters} and the pure-LP
+          path. Exhaustion is honest, never silent: a budget-dropped
+          subtree degrades [Optimal] to [Feasible] (or [Infeasible] to
+          [Unknown]) with the bound folded over the dropped parents —
+          the admission-control knob a serving layer needs. *)
 }
 
 (** Defaults shared with branch-and-bound are derived from

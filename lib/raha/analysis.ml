@@ -11,6 +11,7 @@ type options = {
   certify : bool;
   cuts : Milp.Cuts.options;
   batch : bool;
+  sx_iters : int option;
 }
 
 let default_options =
@@ -27,6 +28,7 @@ let default_options =
     certify = true;
     cuts = Milp.Cuts.default;
     batch = true;
+    sx_iters = None;
   }
 
 let with_timeout t = { default_options with time_limit = t }
@@ -60,16 +62,23 @@ let par_map ~domains f arr =
     Parallel.Pool.with_pool ~counters:Milp.Solver.stats_counters ~domains (fun pool ->
         Parallel.Pool.map_array pool f arr)
 
-let seed_candidates spec topo paths envelope ~limit ~domains ~batch =
+(* The demand the candidate screening sweeps route: the envelope corner
+   matching the spec's goal. *)
+let screening_demand spec envelope =
   let pairs = Traffic.Envelope.pairs envelope in
-  let hi =
+  let corner volume =
     Traffic.Demand.of_list
-      (List.map (fun (s, d) -> ((s, d), Traffic.Envelope.hi_volume envelope ~src:s ~dst:d)) pairs)
+      (List.map (fun (s, d) -> ((s, d), volume envelope ~src:s ~dst:d)) pairs)
   in
-  let lo =
-    Traffic.Demand.of_list
-      (List.map (fun (s, d) -> ((s, d), Traffic.Envelope.lo_volume envelope ~src:s ~dst:d)) pairs)
-  in
+  match spec.Bilevel.goal with
+  | Bilevel.Max_degradation -> corner Traffic.Envelope.hi_volume
+  | Bilevel.Min_failed_performance -> corner Traffic.Envelope.lo_volume
+
+let screening_engine ~spec topo paths envelope =
+  Te.Simulate.prepare ~objective:spec.Bilevel.objective topo paths
+    (screening_demand spec envelope)
+
+let seed_candidates ?screen spec topo paths envelope ~limit ~domains ~batch =
   let admissible s =
     (match spec.Bilevel.threshold with
     | Some t -> Failure.Scenario.prob topo s >= t
@@ -99,14 +108,16 @@ let seed_candidates spec topo paths envelope ~limit ~domains ~batch =
       | None -> [])
   in
   let candidates = List.filter admissible candidates in
-  let demand_for =
-    match spec.Bilevel.goal with Bilevel.Max_degradation -> hi | Bilevel.Min_failed_performance -> lo
-  in
+  let demand_for = screening_demand spec envelope in
   (* one engine for the whole candidate sweep: prepare + healthy solve
      once, then a warm overlay (or full rebuild, when batch is off) per
-     candidate *)
+     candidate. A caller holding a persistent engine for this
+     (spec, topo, paths, envelope) — the always-on service — passes it
+     as [?screen] and skips the prepare entirely. *)
   let eng =
-    Te.Simulate.prepare ~objective:spec.Bilevel.objective topo paths demand_for
+    match screen with
+    | Some _ -> screen
+    | None -> screening_engine ~spec topo paths envelope
   in
   let rebuild = not batch in
   let score s =
@@ -142,15 +153,28 @@ let seed_candidates spec topo paths envelope ~limit ~domains ~batch =
   in
   List.map (fun (_, s) -> (s, demand_for)) (take limit scored)
 
-let analyze ?(options = default_options) topo paths envelope =
+let analyze ?screen ?(extra_cuts = []) ?(options = default_options) topo paths
+    envelope =
   let built = Bilevel.build options.spec topo paths envelope in
+  (* Caller-supplied valid inequalities (e.g. cuts persisted from a
+     previous solve of the same structure; see Milp.Cuts.structural)
+     join the model as ordinary rows before presolve. Their ids must
+     speak this build's variable indexing — Bilevel.build is
+     deterministic, so two builds over equal inputs agree. *)
+  List.iteri
+    (fun i (c : Milp.Cuts.structural) ->
+      Milp.Model.add_cons built.Bilevel.model
+        ~name:(Printf.sprintf "persist_%s_cut%d" (Milp.Cuts.family_name c.Milp.Cuts.s_family) i)
+        (Milp.Linexpr.of_terms c.Milp.Cuts.s_terms)
+        Milp.Model.Le c.Milp.Cuts.s_rhs)
+    extra_cuts;
   let hints =
     match options.seed_enumeration with
     | Some 0 -> []
     | limit ->
       let limit = Option.value limit ~default:6 in
-      seed_candidates options.spec topo paths envelope ~limit ~domains:options.domains
-        ~batch:options.batch
+      seed_candidates ?screen options.spec topo paths envelope ~limit
+        ~domains:options.domains ~batch:options.batch
       |> List.map (fun (s, d) -> Bilevel.hint built ~scenario:s ~demand:d)
   in
   let solver_options =
@@ -166,6 +190,7 @@ let analyze ?(options = default_options) topo paths envelope =
       dense_simplex = options.dense_simplex;
       certify = options.certify;
       cuts = options.cuts;
+      sx_iters = options.sx_iters;
     }
   in
   let sol = Milp.Solver.solve ~options:solver_options built.Bilevel.model in

@@ -54,6 +54,12 @@ type options = {
           CLI/bench [--no-batch] flags) rebuilds the per-scenario
           structures instead — bit-identical results, full per-scenario
           cost. *)
+  sx_iters : int option;
+      (** simplex pivot budget per LP relaxation
+          ({!Milp.Solver.options.sx_iters}); default [None] = unlimited.
+          Exhaustion degrades the status honestly ([Optimal] →
+          [Feasible], no incumbent → [Unknown]) — the per-query
+          admission budget of the serving layer. *)
 }
 
 val default_options : options
@@ -87,13 +93,37 @@ type report = {
 (** [analyze ~options topo paths envelope] solves the bi-level problem.
     Reports with [status = Feasible] carry a valid incumbent plus bound
     (timeout behaviour, §6); [Infeasible] means no scenario satisfies the
-    operator's constraints (e.g. threshold too high). *)
+    operator's constraints (e.g. threshold too high).
+
+    [?screen] lends the candidate-screening sweep a prepared scenario
+    engine for these exact (spec, topo, paths, screening-demand) inputs
+    — {!screening_engine} builds one — skipping the per-call prepare; a
+    long-lived caller keeps one engine across many analyses.
+    [?extra_cuts] appends caller-supplied valid inequalities (variable
+    ids in {!Bilevel.build}'s deterministic indexing, e.g. cuts
+    persisted from a previous solve of the same structure) to the model
+    before solving; supplying an inequality that is {e not} valid for
+    this model makes answers wrong, so callers must re-check validity —
+    see {!Milp.Cuts.structural}. *)
 val analyze :
+  ?screen:Te.Simulate.engine ->
+  ?extra_cuts:Milp.Cuts.structural list ->
   ?options:options ->
   Wan.Topology.t ->
   Netpath.Path_set.t ->
   Traffic.Envelope.t ->
   report
+
+(** The batched scenario engine {!analyze}'s screening sweep uses,
+    prepared once for reuse via [?screen]: the TE LP at the envelope
+    corner matching [spec.goal]. [None] when the healthy network cannot
+    route that demand. *)
+val screening_engine :
+  spec:Bilevel.spec ->
+  Wan.Topology.t ->
+  Netpath.Path_set.t ->
+  Traffic.Envelope.t ->
+  Te.Simulate.engine option
 
 val pp_report : Format.formatter -> report -> unit
 

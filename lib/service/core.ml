@@ -1,0 +1,398 @@
+let src = Logs.Src.create "service.core" ~doc:"degradation service core"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  paths : Netpath.Path_set.t;
+  envelope : Traffic.Envelope.t;
+  options : Raha.Analysis.options;
+  drift_tol : float;
+}
+
+(* The cached worst-case answer, plus everything the invalidation
+   policy compares against: the estimates vector at solve time, the
+   structure generation, and the worst case's link support. *)
+type cached = {
+  answer : (string * Json.t) list;  (* the result fields, sans freshness *)
+  support : (int * int) list;
+  probs : float array;
+  events_at : int;
+  sgen_at : int;
+  proved : bool;
+      (* the cached solve proved optimality; a budget-starved Feasible
+         or Unknown answer is remembered (for its hints and telemetry)
+         but never re-served — the next query re-solves *)
+}
+
+type t = {
+  cfg : config;
+  state : State.t;
+  cuts : Cutstore.t;
+  mutable engine : (int * Te.Simulate.engine option) option;
+      (* (structure generation it was prepared at, engine); [Some None]
+         records that the healthy network cannot route the screening
+         demand — also a valid, cacheable fact *)
+  mutable cached : cached option;
+  mutable n_cached : int;
+  mutable n_warm : int;
+  mutable n_cold : int;
+}
+
+let create cfg topo =
+  {
+    cfg;
+    state = State.create topo;
+    cuts = Cutstore.create cfg.options.Raha.Analysis.cuts;
+    engine = None;
+    cached = None;
+    n_cached = 0;
+    n_warm = 0;
+    n_cold = 0;
+  }
+
+let tally t = (t.n_cached, t.n_warm, t.n_cold)
+
+(* ------------------------------------------------------------------ *)
+(* Response plumbing                                                   *)
+
+let err msg = Json.Obj [ ("ok", Json.Bool false); ("error", Json.String msg) ]
+let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)
+
+let status_str s = Format.asprintf "%a" Milp.Solver.pp_status s
+
+let scenario_json links =
+  Json.List (List.map (fun (e, i) -> Json.List [ Json.Int e; Json.Int i ]) links)
+
+let counters_json (report : Milp.Lp_stats.scope_report) =
+  Json.Obj
+    (List.filter_map
+       (fun (k, v) -> if v = 0 then None else Some (k, Json.Int v))
+       report.Milp.Lp_stats.scope_counters)
+
+(* cert verdict from the scope: every certification and audit that ran
+   inside this query must have passed *)
+let cert_of_scope ~enabled (report : Milp.Lp_stats.scope_report) =
+  if not enabled then "none"
+  else begin
+    let read k =
+      match List.assoc_opt k report.Milp.Lp_stats.scope_counters with
+      | Some v -> v
+      | None -> 0
+    in
+    if read "certify-failures" = 0 && read "cut-audit-failures" = 0 then "ok"
+    else "fail"
+  end
+
+let rec strip_volatile = function
+  | Json.Obj kvs ->
+    Json.Obj
+      (List.filter_map
+         (fun (k, v) ->
+           if k = "elapsed" || k = "counters" then None
+           else Some (k, strip_volatile v))
+         kvs)
+  | Json.List l -> Json.List (List.map strip_volatile l)
+  | j -> j
+
+(* ------------------------------------------------------------------ *)
+(* Engine lifecycle                                                    *)
+
+let engine_for t =
+  let sgen = State.structure_generation t.state in
+  match t.engine with
+  | Some (g, e) when g = sgen -> e
+  | _ ->
+    let topo = State.current_topology t.state in
+    let e =
+      Raha.Analysis.screening_engine ~spec:t.cfg.options.Raha.Analysis.spec topo
+        t.cfg.paths t.cfg.envelope
+    in
+    t.engine <- Some (sgen, e);
+    e
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+
+let freshness ~provenance ~events_at t =
+  [
+    ("provenance", Json.String provenance);
+    ("events_applied", Json.Int events_at);
+    ("staleness", Json.Int (State.events_applied t.state - events_at));
+  ]
+
+let solve_worst t ~verdict ~budget ~max_nodes =
+  let topo = State.current_topology t.state in
+  let spec = t.cfg.options.Raha.Analysis.spec in
+  if verdict = Policy.Cold then begin
+    (* structure moved: engine and persisted cuts are built over rows
+       that no longer exist *)
+    t.engine <- None;
+    Cutstore.clear t.cuts
+  end;
+  let screen = engine_for t in
+  let extra_cuts, cstats =
+    Cutstore.advise t.cuts spec topo t.cfg.paths t.cfg.envelope
+  in
+  let options =
+    {
+      t.cfg.options with
+      Raha.Analysis.sx_iters =
+        (match budget with
+        | Some _ -> budget
+        | None -> t.cfg.options.Raha.Analysis.sx_iters);
+      max_nodes =
+        (match max_nodes with
+        | Some m -> min m t.cfg.options.Raha.Analysis.max_nodes
+        | None -> t.cfg.options.Raha.Analysis.max_nodes);
+    }
+  in
+  let r =
+    Raha.Analysis.analyze ?screen ~extra_cuts ~options topo t.cfg.paths
+      t.cfg.envelope
+  in
+  let support = Failure.Scenario.links r.Raha.Analysis.scenario in
+  let answer =
+    [
+      ("kind", Json.String "worst");
+      ("status", Json.String (status_str r.Raha.Analysis.status));
+      ("degradation", Json.float r.Raha.Analysis.degradation);
+      ("normalized", Json.float r.Raha.Analysis.normalized);
+      ("bound", Json.float r.Raha.Analysis.bound);
+      ("scenario", scenario_json support);
+      ("scenario_prob", Json.float r.Raha.Analysis.scenario_prob);
+      ("num_failed_links", Json.Int r.Raha.Analysis.num_failed_links);
+      ("nodes", Json.Int r.Raha.Analysis.nodes);
+      ("cuts_kept", Json.Int cstats.Cutstore.kept);
+      ("cuts_fresh", Json.Int cstats.Cutstore.fresh);
+    ]
+  in
+  t.cached <-
+    Some
+      {
+        answer;
+        support;
+        probs = State.estimates t.state;
+        events_at = State.events_applied t.state;
+        sgen_at = State.structure_generation t.state;
+        proved = r.Raha.Analysis.status = Milp.Solver.Optimal;
+      };
+  (answer, r.Raha.Analysis.elapsed, r.Raha.Analysis.certificate)
+
+let query_worst t ~budget ~max_nodes =
+  let est = State.estimates t.state in
+  let sgen = State.structure_generation t.state in
+  let verdict =
+    match t.cached with
+    | None ->
+      Policy.decide ~structural_changed:true ~drift:Float.infinity
+        ~drift_tol:t.cfg.drift_tol ~down_in_support:false
+    | Some c ->
+      Policy.decide
+        ~structural_changed:(c.sgen_at <> sgen)
+        ~drift:(Policy.drift est c.probs) ~drift_tol:t.cfg.drift_tol
+        ~down_in_support:
+          (List.exists
+             (fun l -> List.mem l c.support)
+             (State.live_down t.state))
+  in
+  let verdict =
+    (* an unproven cached answer (budget starvation) is never re-served *)
+    match (verdict, t.cached) with
+    | Policy.Cached, Some c when not c.proved -> Policy.Warm
+    | v, _ -> v
+  in
+  let certify_on = t.cfg.options.Raha.Analysis.certify in
+  match (verdict, t.cached) with
+  | Policy.Cached, Some c ->
+    t.n_cached <- t.n_cached + 1;
+    (* no solver work; [c.answer] already carries the cached solve's
+       cert verdict *)
+    ok
+      (c.answer
+      @ freshness ~provenance:"cached" ~events_at:c.events_at t
+      @ [ ("elapsed", Json.float 0.); ("counters", Json.Obj []) ])
+  | _ ->
+    let scope = Milp.Lp_stats.scope_enter ~hooks:Milp.Solver.stats_counters () in
+    let answer, elapsed, certificate =
+      solve_worst t ~verdict ~budget ~max_nodes
+    in
+    let report = Milp.Lp_stats.scope_exit scope in
+    (match verdict with
+    | Policy.Warm -> t.n_warm <- t.n_warm + 1
+    | Policy.Cached | Policy.Cold -> t.n_cold <- t.n_cold + 1);
+    let cert =
+      (* the MILP's own certificate is authoritative; overlay/cut audit
+         failures inside the scope also taint the verdict *)
+      match certificate with
+      | Some c when not c.Milp.Certify.ok -> "fail"
+      | Some _ | None -> cert_of_scope ~enabled:certify_on report
+    in
+    let answer = answer @ [ ("cert", Json.String cert) ] in
+    (* fold the verdict into the cache so later cached serves repeat it *)
+    (match t.cached with
+    | Some c -> t.cached <- Some { c with answer }
+    | None -> ());
+    ok
+      (answer
+      @ freshness
+          ~provenance:(Policy.verdict_name verdict)
+          ~events_at:(State.events_applied t.state) t
+      @ [ ("elapsed", Json.float elapsed); ("counters", counters_json report) ])
+
+let now_answer t ~down ~deg ~prob ~cert ~counters =
+  let events_at = State.events_applied t.state in
+  ok
+    ([
+       ("kind", Json.String "now");
+       ("down", scenario_json down);
+       ( "degradation",
+         match deg with Some d -> Json.float d | None -> Json.Null );
+       ("prob", Json.float prob);
+       ("cert", Json.String cert);
+     ]
+    @ freshness ~provenance:"overlay" ~events_at t
+    @ [ ("counters", counters) ])
+
+let query_now t ~down =
+  let scope = Milp.Lp_stats.scope_enter ~hooks:Milp.Solver.stats_counters () in
+  let topo = State.current_topology t.state in
+  let down =
+    match down with Some d -> d | None -> State.live_down t.state
+  in
+  let result =
+    match engine_for t with
+    | None -> Error "healthy network cannot route the screening demand"
+    | Some eng -> (
+      match Failure.Scenario.of_links topo down with
+      | exception Invalid_argument m -> Error m
+      | scenario ->
+        Ok
+          ( Te.Simulate.degradation_prepared eng scenario,
+            Failure.Scenario.prob topo scenario ))
+  in
+  let report = Milp.Lp_stats.scope_exit scope in
+  match result with
+  | Error m -> err m
+  | Ok (deg, prob) ->
+    now_answer t ~down ~deg ~prob
+      ~cert:(cert_of_scope ~enabled:t.cfg.options.Raha.Analysis.certify report)
+      ~counters:(counters_json report)
+
+(* Concurrent overlay evaluation: the engine is immutable and overlay
+   solves are pure, so a batch of "now" queries fans out on the
+   parallel pool. Order-preserving map + per-batch counter aggregation
+   keep the answer sequence bit-identical whatever the domain count
+   (per-query counter attribution is impossible under work stealing,
+   so the batch shares one counters/cert verdict — a failure of any
+   overlay audit taints the whole batch). *)
+let now_many t downs =
+  let topo = State.current_topology t.state in
+  match engine_for t with
+  | None ->
+    Array.map
+      (fun _ -> err "healthy network cannot route the screening demand")
+      downs
+  | Some eng ->
+    let live = State.live_down t.state in
+    let items =
+      Array.map
+        (fun d ->
+          let down = match d with Some d -> d | None -> live in
+          match Failure.Scenario.of_links topo down with
+          | scenario -> Ok (down, scenario)
+          | exception Invalid_argument m -> Error m)
+        downs
+    in
+    let domains = max 1 t.cfg.options.Raha.Analysis.domains in
+    let evaluate = function
+      | Error m -> Error m
+      | Ok (down, scenario) ->
+        Ok
+          ( down,
+            Te.Simulate.degradation_prepared eng scenario,
+            Failure.Scenario.prob topo scenario )
+    in
+    let results, counters =
+      Parallel.Pool.with_pool ~counters:Milp.Solver.stats_counters ~domains
+        (fun pool ->
+          let r = Parallel.Pool.map_array pool evaluate items in
+          (r, (Parallel.Pool.stats pool).Parallel.Pool.counters))
+    in
+    let read k =
+      match List.assoc_opt k counters with Some v -> v | None -> 0
+    in
+    let cert =
+      if not t.cfg.options.Raha.Analysis.certify then "none"
+      else if read "certify-failures" = 0 && read "cut-audit-failures" = 0 then
+        "ok"
+      else "fail"
+    in
+    let counters =
+      Json.Obj
+        (List.filter_map
+           (fun (k, v) -> if v = 0 then None else Some (k, Json.Int v))
+           counters)
+    in
+    Array.map
+      (function
+        | Error m -> err m
+        | Ok (down, deg, prob) -> now_answer t ~down ~deg ~prob ~cert ~counters)
+      results
+
+let query_status t =
+  let cached, warm, cold = tally t in
+  ok
+    [
+      ("kind", Json.String "status");
+      ("clock", Json.float (State.clock t.state));
+      ("events_applied", Json.Int (State.events_applied t.state));
+      ("live_down", Json.Int (State.num_down t.state));
+      ("structure_generation", Json.Int (State.structure_generation t.state));
+      ( "cache",
+        match t.cached with
+        | None -> Json.Null
+        | Some c ->
+          Json.Obj
+            [
+              ("events_at", Json.Int c.events_at);
+              ( "staleness",
+                Json.Int (State.events_applied t.state - c.events_at) );
+              ( "drift",
+                Json.float (Policy.drift (State.estimates t.state) c.probs) );
+            ] );
+      ("cuts_stored", Json.Int (Cutstore.size t.cuts));
+      ( "served",
+        Json.Obj
+          [
+            ("cached", Json.Int cached);
+            ("warm", Json.Int warm);
+            ("cold", Json.Int cold);
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+
+let handle t = function
+  | Event.Event e -> (
+    match State.apply t.state e with
+    | Ok structural ->
+      ok
+        [
+          ("applied", Json.Int (State.events_applied t.state));
+          ("structural", Json.Bool structural);
+        ]
+    | Error m -> err m)
+  | Event.Query (Event.Worst { budget; max_nodes }) -> (
+    try query_worst t ~budget ~max_nodes
+    with e -> err (Printf.sprintf "solve failed: %s" (Printexc.to_string e)))
+  | Event.Query (Event.Now { down }) -> (
+    try query_now t ~down
+    with e -> err (Printf.sprintf "overlay failed: %s" (Printexc.to_string e)))
+  | Event.Query Event.Status -> query_status t
+  | Event.Shutdown -> ok [ ("bye", Json.Bool true) ]
+
+let handle_line t line =
+  match Event.request_of_line line with
+  | Error m -> err m
+  | Ok req -> handle t req

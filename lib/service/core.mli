@@ -1,0 +1,64 @@
+(** The always-on degradation service, minus the socket.
+
+    One {!t} owns the streaming {!State}, the persistent screening
+    engine ({!Te.Simulate.prepare}, rebuilt only on structural change),
+    the {!Cutstore}, and the cached worst-case answer. {!handle} maps
+    every protocol request to a response deterministically: replaying
+    the same request sequence yields bit-identical responses (after
+    {!strip_volatile}) whatever the domain count — the seeding sweeps
+    inside {!Raha.Analysis.analyze} are order-preserving and the rest
+    is sequential.
+
+    Query answers carry, besides the result itself:
+    - ["cert"]: ["ok"] when the independent audits ({!Milp.Certify} for
+      the MILP, {!Milp.Batch.check} for warm overlays) all passed
+      inside this query's counter scope, ["fail"] otherwise, ["none"]
+      when certification was disabled;
+    - freshness: ["events_applied"] (ingested events folded into the
+      answer), ["staleness"] (events since the answer was computed — 0
+      unless the invalidation policy ruled the cache still valid);
+    - provenance: ["cached"], ["warm"] or ["cold"] ({!Policy});
+    - ["counters"]: per-query {!Milp.Lp_stats} scope deltas. *)
+
+type config = {
+  paths : Netpath.Path_set.t;
+  envelope : Traffic.Envelope.t;
+  options : Raha.Analysis.options;
+      (** per-solve options; [spec], [domains], budgets, toggles *)
+  drift_tol : float;
+      (** max per-link probability-estimate drift a cached answer
+          survives ({!Policy.decide}) *)
+}
+
+type t
+
+(** [create config topo] — [topo] is the {e configured} topology
+    (structure + provisioned capacities + configured probabilities);
+    nothing is solved until the first query. *)
+val create : config -> Wan.Topology.t -> t
+
+(** Handle one request; total (protocol errors become
+    [{"ok":false,"error":...}] responses, never exceptions). *)
+val handle : t -> Event.request -> Json.t
+
+(** Convenience: parse a protocol line and handle it. *)
+val handle_line : t -> string -> Json.t
+
+(** [now_many t downs] answers a batch of "now" overlay queries
+    concurrently on the {!Parallel.Pool} ([options.domains] wide):
+    element [i] is the answer for overlay scenario [downs.(i)] ([None]
+    = the live-down set). Bit-identical to handling them one by one
+    {e except} for the volatile fields: counters (and hence the cert
+    verdict) are aggregated per batch, since work stealing cannot
+    attribute worker counters per query — an overlay-audit failure
+    anywhere taints the whole batch's cert, conservatively. *)
+val now_many : t -> (int * int) list option array -> Json.t array
+
+(** Drop the keys that legitimately differ between runs — ["elapsed"]
+    (wall clock) and ["counters"] (work-stealing attributes worker
+    counters nondeterministically when [domains > 1]) — for the replay
+    determinism comparisons. Everything else must be bit-identical. *)
+val strip_volatile : Json.t -> Json.t
+
+(** Served-query tallies: (cached, warm, cold). *)
+val tally : t -> int * int * int

@@ -1,0 +1,105 @@
+let src = Logs.Src.create "service.cutstore" ~doc:"persisted cuts"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type entry = {
+  sc : Milp.Cuts.structural;
+  deps_fp : string list;  (* fingerprints of the source rows *)
+}
+
+type t = { opts : Milp.Cuts.options; mutable entries : entry list }
+
+let create opts = { opts; entries = [] }
+let clear t = t.entries <- []
+let size t = List.length t.entries
+
+type stats = { kept : int; dropped : int; fresh : int }
+
+(* Exact row identity: terms (already id-sorted by Linexpr), relation,
+   rhs, and the kind + global box of every support variable — all
+   floats in hex notation, so equal fingerprints mean equal rows, not
+   rows that round alike. *)
+let row_fingerprint model (c : Milp.Model.cons) =
+  let b = Buffer.create 128 in
+  let vars = Milp.Model.vars model in
+  Milp.Linexpr.iter
+    (fun id k ->
+      let v = vars.(id) in
+      let kind =
+        match v.Milp.Model.kind with
+        | Milp.Model.Continuous -> 'c'
+        | Milp.Model.Binary -> 'b'
+        | Milp.Model.Integer -> 'i'
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%d:%h:%c:%h:%h;" id k kind v.Milp.Model.lb
+           v.Milp.Model.ub))
+    c.Milp.Model.lhs;
+  Buffer.add_string b
+    (Printf.sprintf "|%s%h"
+       (match c.Milp.Model.rel with
+       | Milp.Model.Le -> "<="
+       | Milp.Model.Ge -> ">="
+       | Milp.Model.Eq -> "=")
+       c.Milp.Model.rhs);
+  Buffer.contents b
+
+let cut_key (sc : Milp.Cuts.structural) =
+  let b = Buffer.create 64 in
+  List.iter
+    (fun (k, id) -> Buffer.add_string b (Printf.sprintf "%d:%h;" id k))
+    sc.Milp.Cuts.s_terms;
+  Buffer.add_string b (Printf.sprintf "|%h" sc.Milp.Cuts.s_rhs);
+  Buffer.contents b
+
+let advise t spec topo paths envelope =
+  let built = Raha.Bilevel.build spec topo paths envelope in
+  let model = built.Raha.Bilevel.model in
+  let conss = Milp.Model.conss model in
+  let row_fps = Hashtbl.create (Array.length conss) in
+  Array.iter (fun c -> Hashtbl.replace row_fps (row_fingerprint model c) ()) conss;
+  (* 1. survivors: every dependency row must still be present verbatim *)
+  let kept, droppedl =
+    List.partition
+      (fun e -> List.for_all (Hashtbl.mem row_fps) e.deps_fp)
+      t.entries
+  in
+  (* 2. fresh separation at the LP-relaxation optimum of this model *)
+  let fresh =
+    match Milp.Simplex.solve model with
+    | Milp.Simplex.Optimal { values; _ } ->
+      let fp_of_dep i = row_fingerprint model conss.(i) in
+      List.map
+        (fun (sc : Milp.Cuts.structural) ->
+          { sc; deps_fp = List.map fp_of_dep sc.Milp.Cuts.s_deps })
+        (Milp.Cuts.separate_structural t.opts model ~point:values)
+    | Milp.Simplex.Infeasible | Milp.Simplex.Unbounded
+    | Milp.Simplex.Iter_limit ->
+      []
+  in
+  (* union, survivors first (their cuts proved useful once), deduped,
+     bounded by the pool size *)
+  let seen = Hashtbl.create 32 in
+  let out = ref [] and nfresh = ref 0 in
+  let admit ~is_fresh e =
+    let key = cut_key e.sc in
+    if
+      List.length !out < t.opts.Milp.Cuts.pool_size
+      && not (Hashtbl.mem seen key)
+    then begin
+      Hashtbl.replace seen key ();
+      if is_fresh then incr nfresh;
+      out := e :: !out
+    end
+  in
+  List.iter (admit ~is_fresh:false) kept;
+  List.iter (admit ~is_fresh:true) fresh;
+  let entries = List.rev !out in
+  t.entries <- entries;
+  let stats =
+    { kept = List.length kept; dropped = List.length droppedl; fresh = !nfresh }
+  in
+  Log.debug (fun f ->
+      f "advise: %d kept, %d dropped, %d fresh (store %d)" stats.kept
+        stats.dropped stats.fresh (List.length entries));
+  (List.map (fun e -> e.sc) entries, stats)

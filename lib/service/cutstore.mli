@@ -1,0 +1,49 @@
+(** Cross-solve cut persistence with validity re-checking.
+
+    {!Milp.Cuts} pools are tree-wide-valid but solve-local: they speak
+    post-presolve indexing and die with the solve. The service instead
+    keeps {!Milp.Cuts.structural} cuts — cover and clique inequalities
+    in {e original-model} indexing, each carrying the source rows its
+    derivation used — and re-admits a cut into a later solve only when
+    every dependency row is still present, verbatim, in the new model.
+
+    "Verbatim" is a fingerprint: the row's terms, relation and rhs plus
+    the kind and global box of every support variable, rendered in hex
+    float notation (exact, no rounding). {!Raha.Bilevel.build} is
+    deterministic, so across rebuilds over unchanged inputs every
+    fingerprint matches and every cut survives; when the probability
+    estimates drift, the rows they enter (the log-probability threshold
+    knapsack) change their fingerprints and exactly the cuts derived
+    from them are dropped — validity by implication, not hope. Gomory
+    cuts are never stored ({!Milp.Cuts.separate_structural} cannot emit
+    them: they depend on the whole basis inverse). *)
+
+type t
+
+val create : Milp.Cuts.options -> t
+
+(** Drop everything (topology structure changed). *)
+val clear : t -> unit
+
+type stats = {
+  kept : int;  (** stored cuts whose dependencies all still hold *)
+  dropped : int;  (** stored cuts invalidated by a changed row *)
+  fresh : int;  (** cuts newly separated on this model *)
+}
+
+(** [advise t spec topo paths envelope] prepares the cut set for a
+    solve of these inputs: builds the pristine bilevel model, drops
+    stored cuts whose dependency fingerprints no longer match a model
+    row, separates fresh cuts at the model's LP-relaxation optimum,
+    and returns the surviving union (the next solve's [?extra_cuts]).
+    Every returned cut is valid for this model — survivors by the
+    fingerprint check, fresh cuts by construction. *)
+val advise :
+  t ->
+  Raha.Bilevel.spec ->
+  Wan.Topology.t ->
+  Netpath.Path_set.t ->
+  Traffic.Envelope.t ->
+  Milp.Cuts.structural list * stats
+
+val size : t -> int

@@ -1,0 +1,42 @@
+(** Minimal JSON for the line-delimited service protocol.
+
+    Hand-rolled on purpose: the repository takes no external JSON
+    dependency, and the protocol needs exactly objects, arrays, strings,
+    numbers, booleans and null. Two properties matter beyond RFC 8259:
+
+    - {b float round-tripping}: numbers are printed with [%.17g], so
+      [of_string (to_string (Float x))] recovers [x] to the last bit —
+      the replay-determinism checks compare protocol lines verbatim;
+    - {b non-finite floats}: JSON has no [nan]/[inf]; {!float} encodes
+      them as the strings ["nan"], ["inf"], ["-inf"] and {!to_float}
+      decodes those strings back, so solver statuses with no point
+      survive the wire unambiguously. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+(** Parse one JSON value; trailing non-whitespace is an error. *)
+val of_string : string -> (t, string) result
+
+(** [member key json] is the value under [key], or [Null] when absent or
+    [json] is not an object. *)
+val member : string -> t -> t
+
+(** Encode a float, mapping non-finite values to their string forms. *)
+val float : float -> t
+
+(** Decode [Int], [Float], or the non-finite string forms. *)
+val to_float : t -> float option
+
+val to_int : t -> int option
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

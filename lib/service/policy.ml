@@ -1,0 +1,19 @@
+type verdict = Cached | Warm | Cold
+
+let verdict_name = function
+  | Cached -> "cached"
+  | Warm -> "warm"
+  | Cold -> "cold"
+
+let decide ~structural_changed ~drift ~drift_tol ~down_in_support =
+  if structural_changed then Cold
+  else if drift > drift_tol || down_in_support then Warm
+  else Cached
+
+let drift a b =
+  if Array.length a <> Array.length b then Float.infinity
+  else begin
+    let m = ref 0. in
+    Array.iteri (fun i x -> m := Float.max !m (Float.abs (x -. b.(i)))) a;
+    !m
+  end

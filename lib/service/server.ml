@@ -1,0 +1,165 @@
+let src = Logs.Src.create "service.server" ~doc:"socket front end"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type conn = { fd : Unix.file_descr; buf : Buffer.t }
+
+let send_line fd line =
+  let data = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length data in
+  let off = ref 0 in
+  try
+    while !off < len do
+      off := !off + Unix.write fd data !off (len - !off)
+    done;
+    true
+  with Unix.Unix_error _ -> false
+
+(* Pull complete lines out of a connection buffer, leaving the partial
+   tail in place. *)
+let drain_lines conn =
+  let s = Buffer.contents conn.buf in
+  let lines = ref [] and start = ref 0 in
+  String.iteri
+    (fun i c ->
+      if c = '\n' then begin
+        lines := String.sub s !start (i - !start) :: !lines;
+        start := i + 1
+      end)
+    s;
+  Buffer.clear conn.buf;
+  Buffer.add_string conn.buf (String.sub s !start (String.length s - !start));
+  List.rev !lines
+
+(* Answer one readiness round. Requests are answered in arrival order;
+   maximal runs of "now" queries fan out on the pool. Returns [true]
+   when a shutdown was requested. *)
+let process core batch =
+  let shutdown = ref false in
+  let flush_now_run run =
+    match List.rev run with
+    | [] -> ()
+    | items ->
+      let arr = Array.of_list items in
+      let downs =
+        Array.map
+          (fun (_, req) ->
+            match req with
+            | Event.Query (Event.Now { down }) -> down
+            | _ -> assert false)
+          arr
+      in
+      let answers = Core.now_many core downs in
+      Array.iteri
+        (fun i (conn, _) ->
+          ignore (send_line conn.fd (Json.to_string answers.(i))))
+        arr
+  in
+  let rec go now_run = function
+    | [] -> flush_now_run now_run
+    | (conn, Error msg) :: rest ->
+      flush_now_run now_run;
+      ignore
+        (send_line conn.fd
+           (Json.to_string
+              (Json.Obj
+                 [ ("ok", Json.Bool false); ("error", Json.String msg) ])));
+      go [] rest
+    | (conn, Ok (Event.Query (Event.Now _) as req)) :: rest ->
+      go ((conn, req) :: now_run) rest
+    | (conn, Ok req) :: rest ->
+      flush_now_run now_run;
+      let resp = Core.handle core req in
+      ignore (send_line conn.fd (Json.to_string resp));
+      if req = Event.Shutdown then shutdown := true;
+      go [] rest
+  in
+  go [] batch;
+  !shutdown
+
+let run ~socket ?(backlog = 16) core =
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd backlog;
+  Log.info (fun f -> f "listening on %s" socket);
+  let conns = ref [] in
+  let closed conn =
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    conns := List.filter (fun c -> c != conn) !conns
+  in
+  let stop = ref false in
+  let chunk = Bytes.create 65536 in
+  while not !stop do
+    let fds = listen_fd :: List.map (fun c -> c.fd) !conns in
+    match Unix.select fds [] [] (-1.) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+      if List.mem listen_fd ready then begin
+        let fd, _ = Unix.accept listen_fd in
+        conns := !conns @ [ { fd; buf = Buffer.create 256 } ]
+      end;
+      (* gather every complete request line that arrived this round *)
+      let batch = ref [] in
+      List.iter
+        (fun conn ->
+          if List.mem conn.fd ready then begin
+            match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+            | 0 -> closed conn
+            | n ->
+              Buffer.add_subbytes conn.buf chunk 0 n;
+              List.iter
+                (fun line ->
+                  if String.trim line <> "" then
+                    batch := (conn, Event.request_of_line line) :: !batch)
+                (drain_lines conn)
+            | exception Unix.Unix_error _ -> closed conn
+          end)
+        !conns;
+      if process core (List.rev !batch) then stop := true
+  done;
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  try Unix.unlink socket with Unix.Unix_error _ -> ()
+
+let request ~socket ?(retries = 100) line =
+  let rec connect attempt =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if attempt >= retries then
+        Error
+          (Printf.sprintf "connect %s: %s" socket (Unix.error_message e))
+      else begin
+        Unix.sleepf 0.05;
+        connect (attempt + 1)
+      end
+  in
+  match connect 0 with
+  | Error _ as e -> e
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        if not (send_line fd line) then Error "write failed"
+        else begin
+          let buf = Buffer.create 256 in
+          let one = Bytes.create 4096 in
+          let rec read_line () =
+            match Unix.read fd one 0 (Bytes.length one) with
+            | 0 ->
+              if Buffer.length buf > 0 then Ok (Buffer.contents buf)
+              else Error "connection closed before a response"
+            | n ->
+              Buffer.add_subbytes buf one 0 n;
+              let s = Buffer.contents buf in
+              (match String.index_opt s '\n' with
+              | Some i -> Ok (String.sub s 0 i)
+              | None -> read_line ())
+            | exception Unix.Unix_error (e, _, _) ->
+              Error (Unix.error_message e)
+          in
+          read_line ()
+        end)

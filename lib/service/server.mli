@@ -1,0 +1,24 @@
+(** Unix-domain-socket front end: line-delimited JSON over a stream
+    socket, one request per line, one response line per request.
+
+    The accept loop multiplexes any number of client connections with
+    [select]. Requests that arrived in the same readiness round are
+    answered in arrival order, with one twist: a maximal run of
+    consecutive "now" overlay queries is evaluated concurrently on the
+    parallel pool ({!Core.now_many}) — the engine is immutable and
+    overlays are pure reads, so this is safe, order-preserving and
+    deterministic. Everything that mutates the core (events, worst-case
+    solves) stays strictly sequential.
+
+    A ["shutdown"] request is acknowledged, then the loop closes every
+    connection, unlinks the socket and returns. *)
+
+(** [run ~socket core] binds [socket] (unlinking any stale file first)
+    and serves until a shutdown request. Blocking. *)
+val run : socket:string -> ?backlog:int -> Core.t -> unit
+
+(** [request ~socket line] — client side: connect, send [line], return
+    the response line. Retries the connect (with a short sleep, up to
+    [retries ~ 100] times) while the server is still starting, so a CI
+    smoke test can launch daemon and client together.  *)
+val request : socket:string -> ?retries:int -> string -> (string, string) result

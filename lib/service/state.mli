@@ -1,0 +1,47 @@
+(** Current network state under a stream of telemetry events.
+
+    Holds, per physical link, an incremental renewal-reward estimator
+    ({!Failure.Renewal.Incr} — O(1) per event, bit-identical to the
+    batch estimate on the folded prefix), the live up/down flag, and the
+    current provisioned capacity. From these it derives the {e current
+    topology}: the configured topology with per-link failure
+    probabilities replaced by the running estimates (clamped to
+    [[1e-6, 0.99]], the {!Failure.Trace.calibrate_topology} discipline)
+    and capacities replaced by the provisioned values. Links that have
+    produced no telemetry keep their configured probability.
+
+    Event times must be globally non-decreasing; a violation is
+    rejected (the event is not applied) rather than silently reordered. *)
+
+type t
+
+(** [create topo] — all links up, no telemetry, clock at 0. *)
+val create : Wan.Topology.t -> t
+
+(** Apply one event. [Error] (bad link address, time regression,
+    down/up mismatch, non-positive capacity) leaves the state
+    untouched. [Ok structural] is [true] when the event changed the
+    topology {e structure} (a capacity change) — every cached model
+    artifact is then invalid, not just probability-dependent ones. *)
+val apply : t -> Event.event -> (bool, string) result
+
+val events_applied : t -> int
+
+(** Time of the last applied event ([0.] initially). *)
+val clock : t -> float
+
+(** Links currently down, as [(lag, link)] pairs in address order. *)
+val live_down : t -> (int * int) list
+
+val num_down : t -> int
+
+(** Current per-link failure-probability estimates, flattened in
+    address order — the vector the drift policy compares. *)
+val estimates : t -> float array
+
+(** The configured topology with current estimates and capacities. *)
+val current_topology : t -> Wan.Topology.t
+
+(** Monotonic count of structural (capacity) changes, for cheap
+    "did the structure move since generation g?" checks. *)
+val structure_generation : t -> int

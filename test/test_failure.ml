@@ -313,6 +313,91 @@ let test_binomial_matches_pascal () =
   check_int "k > n" 0 (Failure.Enumerate.binomial 5 6);
   check_int "C(0,0)" 1 (Failure.Enumerate.binomial 0 0)
 
+let test_incr_matches_batch_on_prefixes () =
+  (* the streaming estimator must agree with the batch walk to the last
+     float bit on EVERY prefix of a generated trace, for every statistic *)
+  let events =
+    Failure.Trace.exponential ~seed:23 ~mean_uptime:7. ~mean_downtime:2.
+      ~horizon:500. ()
+  in
+  Alcotest.(check bool) "trace non-trivial" true (List.length events > 10);
+  let check_prefix prefix =
+    let incr = Failure.Renewal.Incr.of_events prefix in
+    let n = List.length prefix in
+    check_int (Printf.sprintf "count prefix %d" n) n
+      (Failure.Renewal.Incr.count incr);
+    let horizon =
+      match List.rev prefix with
+      | [] -> 1.
+      | last :: _ -> last.Failure.Renewal.up_at +. 0.5
+    in
+    check_float ~eps:0.
+      (Printf.sprintf "estimate prefix %d" n)
+      (Failure.Renewal.estimate ~horizon prefix)
+      (Failure.Renewal.Incr.estimate ~horizon incr);
+    if n >= 1 then
+      check_float ~eps:0.
+        (Printf.sprintf "mttr prefix %d" n)
+        (Failure.Renewal.mttr prefix)
+        (Failure.Renewal.Incr.mttr incr);
+    if n >= 2 then begin
+      check_float ~eps:0.
+        (Printf.sprintf "mtbf prefix %d" n)
+        (Failure.Renewal.mtbf prefix)
+        (Failure.Renewal.Incr.mtbf incr);
+      check_float ~eps:0.
+        (Printf.sprintf "ratio prefix %d" n)
+        (Failure.Renewal.estimate_ratio prefix)
+        (Failure.Renewal.Incr.estimate_ratio incr)
+    end
+  in
+  let rec prefixes acc = function
+    | [] -> [ List.rev acc ]
+    | e :: rest -> List.rev acc :: prefixes (e :: acc) rest
+  in
+  List.iter check_prefix (prefixes [] events)
+
+let test_incr_open_outage () =
+  (* an open outage is clipped at the horizon exactly like a batch event
+     that straddles it *)
+  let closed = [ { Failure.Renewal.down_at = 2.; up_at = 3. } ] in
+  let incr =
+    Failure.Renewal.Incr.down (Failure.Renewal.Incr.of_events closed) ~at:6.
+  in
+  Alcotest.(check bool) "is down" true (Failure.Renewal.Incr.is_down incr);
+  check_int "open outage not counted" 1 (Failure.Renewal.Incr.count incr);
+  (* batch equivalent at horizon 10: pretend the outage ends at the horizon *)
+  check_float ~eps:0. "open clipped"
+    (Failure.Renewal.estimate ~horizon:10.
+       (closed @ [ { Failure.Renewal.down_at = 6.; up_at = 10. } ]))
+    (Failure.Renewal.Incr.estimate ~horizon:10. incr);
+  (* horizon before the open outage starts: no extra downtime *)
+  check_float ~eps:0. "horizon before open down"
+    (Failure.Renewal.estimate ~horizon:5. closed)
+    (Failure.Renewal.Incr.estimate ~horizon:5. incr);
+  (* closing the outage matches the batch trace *)
+  let closed' = closed @ [ { Failure.Renewal.down_at = 6.; up_at = 8. } ] in
+  let incr' = Failure.Renewal.Incr.up incr ~at:8. in
+  check_float ~eps:0. "after repair"
+    (Failure.Renewal.estimate ~horizon:10. closed')
+    (Failure.Renewal.Incr.estimate ~horizon:10. incr')
+
+let test_incr_validation () =
+  let open Failure.Renewal.Incr in
+  let bad f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  bad (fun () -> up empty ~at:3.);
+  bad (fun () -> down (down empty ~at:2.) ~at:3.);
+  bad (fun () -> up (down empty ~at:2.) ~at:2.);
+  bad (fun () ->
+      down (add empty { Failure.Renewal.down_at = 2.; up_at = 5. }) ~at:4.);
+  bad (fun () -> estimate ~horizon:0. empty);
+  bad (fun () ->
+      estimate ~horizon:3.
+        (add empty { Failure.Renewal.down_at = 2.; up_at = 5. }))
+
 let test_scenario_validation () =
   (match Failure.Scenario.of_links fig1 [ (99, 0) ] with
   | exception Invalid_argument _ -> ()
@@ -347,6 +432,9 @@ let suite =
     ("threshold = 1 boundary", `Quick, test_threshold_one_boundary);
     ("renewal estimate", `Quick, test_renewal_estimate);
     ("renewal validation", `Quick, test_renewal_validation);
+    ("incremental matches batch on prefixes", `Quick, test_incr_matches_batch_on_prefixes);
+    ("incremental open outage", `Quick, test_incr_open_outage);
+    ("incremental validation", `Quick, test_incr_validation);
     ("trace estimation converges", `Quick, test_trace_estimation_converges);
     ("calibrate topology", `Quick, test_calibrate_topology);
     ("enumerate up to k", `Quick, test_enumerate_up_to_k);

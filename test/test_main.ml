@@ -17,4 +17,5 @@ let () =
       ("batch", Test_batch.suite);
       ("certify", Test_certify.suite);
       ("parallel", Test_parallel.suite);
+      ("service", Test_service.suite);
     ]

@@ -607,6 +607,54 @@ let prop_row_scaling_invariant =
         Float.abs (a -. b) < 1e-5 *. (1. +. Float.abs a)
       | _ -> false)
 
+let test_stats_scope () =
+  (* per-query scopes: hook deltas isolate each query's counter activity
+     while the cumulative values and the global high-water marks survive *)
+  let solve_one () =
+    let m = Model.create () in
+    let a = Model.binary m "a" and b = Model.binary m "b" in
+    Model.add_cons m (Linexpr.of_terms [ (3., a.vid); (4., b.vid) ]) Model.Le 5.;
+    Model.set_objective m Model.Maximize
+      (Linexpr.of_terms [ (2., a.vid); (3., b.vid) ]);
+    ignore (Solver.solve m)
+  in
+  let pivots_before = Lp_stats.read Lp_stats.pivots () in
+  Lp_stats.fmax Lp_stats.certify_max_primal_residual 0.25;
+  let s1 = Lp_stats.scope_enter ~hooks:Solver.stats_counters () in
+  solve_one ();
+  Lp_stats.fmax Lp_stats.certify_max_primal_residual 0.125;
+  let r1 = Lp_stats.scope_exit s1 in
+  let d1 = List.assoc "simplex" r1.Lp_stats.scope_counters in
+  Alcotest.(check bool) "scope 1 saw pivots" true (d1 > 0);
+  (* the scope reports only ITS residual mark, not the pre-scope 0.25 *)
+  Alcotest.(check (float 0.)) "scope 1 residual mark" 0.125
+    (List.assoc "certify-max-primal-residual" r1.Lp_stats.scope_fmax);
+  (* ...but the global mark is restored to the max over history *)
+  Alcotest.(check (float 0.)) "global mark preserved" 0.25
+    (Lp_stats.fread Lp_stats.certify_max_primal_residual ());
+  (* a second scope starts from a clean delta even though the cumulative
+     counters kept growing *)
+  let s2 = Lp_stats.scope_enter ~hooks:Solver.stats_counters () in
+  let r2 = Lp_stats.scope_exit s2 in
+  Alcotest.(check int) "empty scope has zero deltas" 0
+    (List.fold_left (fun acc (_, d) -> acc + abs d) 0 r2.Lp_stats.scope_counters);
+  (* cumulative values untouched by scoping *)
+  Alcotest.(check bool) "cumulative pivots grew" true
+    (Lp_stats.read Lp_stats.pivots () >= pivots_before + d1)
+
+let test_stats_scope_nested () =
+  (* LIFO nesting: the inner scope's marks fold into the outer's *)
+  let s_out = Lp_stats.scope_enter () in
+  Lp_stats.fmax Lp_stats.certify_max_dual_gap 0.5;
+  let s_in = Lp_stats.scope_enter () in
+  Lp_stats.fmax Lp_stats.certify_max_dual_gap 0.0625;
+  let r_in = Lp_stats.scope_exit s_in in
+  Alcotest.(check (float 0.)) "inner mark" 0.0625
+    (List.assoc "certify-max-dual-gap" r_in.Lp_stats.scope_fmax);
+  let r_out = Lp_stats.scope_exit s_out in
+  Alcotest.(check (float 0.)) "outer sees max of both" 0.5
+    (List.assoc "certify-max-dual-gap" r_out.Lp_stats.scope_fmax)
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -649,6 +697,8 @@ let suite =
     ("lp equality system", `Quick, test_lp_equality_system);
     ("milp branch priority", `Quick, test_milp_branch_priority_respected);
     ("plunge hint seeds incumbent", `Quick, test_plunge_hint_seeds_incumbent);
+    ("stats scope", `Quick, test_stats_scope);
+    ("stats scope nested", `Quick, test_stats_scope_nested);
   ]
   @ qcheck_tests
 

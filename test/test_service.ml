@@ -1,0 +1,427 @@
+(* Always-on degradation service: protocol, state ingestion,
+   invalidation policy, replay determinism across domain counts,
+   budget-exhaustion honesty, and a fork-based socket round trip. *)
+
+module J = Service.Json
+module Ev = Service.Event
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let fig1 = Wan.Generators.fig1 ()
+
+let make_core ?(domains = 1) ?(drift_tol = 0.5) () =
+  let paths =
+    Netpath.Path_set.compute ~n_primary:2 ~n_backup:0 fig1 [ (1, 3); (2, 3) ]
+  in
+  let envelope =
+    Traffic.Envelope.around ~slack:0.5
+      (Traffic.Demand.of_list [ ((1, 3), 12.); ((2, 3), 10.) ])
+  in
+  let spec =
+    { Raha.Bilevel.default_spec with Raha.Bilevel.max_failures = Some 1 }
+  in
+  let options = { Raha.Analysis.default_options with spec; domains } in
+  Service.Core.create
+    { Service.Core.paths; envelope; options; drift_tol }
+    fig1
+
+let render j = J.to_string (Service.Core.strip_volatile j)
+
+let get_str key j =
+  match J.to_str (J.member key j) with
+  | Some s -> s
+  | None -> Alcotest.fail (Printf.sprintf "missing string %S in %s" key (J.to_string j))
+
+let is_ok j = J.to_bool (J.member "ok" j) = Some true
+
+(* a deterministic interleaved telemetry stream: per-lag exponential
+   traces merged by time (fig1 has 5 single-link lags) *)
+let telemetry ~seed ~horizon =
+  let per_link =
+    List.concat
+      (List.init (Wan.Topology.num_lags fig1) (fun e ->
+           let events =
+             Failure.Trace.exponential ~seed:((seed * 10) + e) ~mean_uptime:40.
+               ~mean_downtime:4. ~horizon ()
+           in
+           List.concat_map
+             (fun (ev : Failure.Renewal.event) ->
+               [
+                 ( ev.Failure.Renewal.down_at,
+                   Ev.Link_down { lag = e; link = 0; at = ev.Failure.Renewal.down_at } );
+                 ( ev.Failure.Renewal.up_at,
+                   Ev.Link_up { lag = e; link = 0; at = ev.Failure.Renewal.up_at } );
+               ])
+             events))
+  in
+  List.map snd (List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) per_link)
+
+(* --- wire format -------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      J.Null;
+      J.Bool true;
+      J.Int (-42);
+      J.float 0.1;
+      J.float 1.0999999999999996;
+      J.float (-1e-300);
+      J.float Float.nan;
+      J.float Float.infinity;
+      J.float Float.neg_infinity;
+      J.String "he said \"hi\"\n\tdone \\ end";
+      J.List [ J.Int 1; J.List []; J.Obj [] ];
+      J.Obj [ ("a", J.List [ J.Bool false ]); ("b", J.String "") ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      let s = J.to_string j in
+      match J.of_string s with
+      | Ok j' -> check_str "round trip" s (J.to_string j')
+      | Error m -> Alcotest.fail (Printf.sprintf "parse %s: %s" s m))
+    cases;
+  (* float payloads survive to the last bit *)
+  let v = 1.0999999999999996 in
+  (match J.of_string (J.to_string (J.float v)) with
+  | Ok j -> Alcotest.(check bool) "bit-exact float" true (J.to_float j = Some v)
+  | Error m -> Alcotest.fail m);
+  List.iter
+    (fun bad ->
+      match J.of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" bad))
+    [ ""; "{"; "[1,]"; "{\"a\":1"; "1 2"; "nul"; "\"unterminated" ]
+
+let test_protocol_roundtrip () =
+  let reqs =
+    [
+      Ev.Event (Ev.Link_down { lag = 1; link = 0; at = 3.5 });
+      Ev.Event (Ev.Link_up { lag = 1; link = 0; at = 4.25 });
+      Ev.Event (Ev.Capacity { lag = 0; link = 0; capacity = 12.; at = 5. });
+      Ev.Query (Ev.Worst { budget = Some 500; max_nodes = None });
+      Ev.Query (Ev.Worst { budget = None; max_nodes = Some 10 });
+      Ev.Query (Ev.Now { down = None });
+      Ev.Query (Ev.Now { down = Some [ (0, 0); (2, 0) ] });
+      Ev.Query Ev.Status;
+      Ev.Shutdown;
+    ]
+  in
+  List.iter
+    (fun req ->
+      let line = J.to_string (Ev.json_of_request req) in
+      match Ev.request_of_line line with
+      | Ok req' ->
+        Alcotest.(check bool) (Printf.sprintf "round trip %s" line) true (req = req')
+      | Error m -> Alcotest.fail (Printf.sprintf "%s: %s" line m))
+    reqs;
+  List.iter
+    (fun bad ->
+      match Ev.request_of_line bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %s" bad))
+    [
+      "{}";
+      {|{"op":"nope"}|};
+      {|{"op":"event","ev":"down","lag":0}|};
+      {|{"op":"event","ev":"sideways","lag":0,"link":0,"t":1}|};
+      {|{"op":"query","q":"worst","budget":"lots"}|};
+      {|{"op":"query","q":"now","down":[[0]]}|};
+      "not json at all";
+    ]
+
+(* --- state ingestion ---------------------------------------------------- *)
+
+let test_state_apply () =
+  let s = Service.State.create fig1 in
+  let ok e =
+    match Service.State.apply s e with
+    | Ok structural -> structural
+    | Error m -> Alcotest.fail m
+  in
+  let rejected e =
+    let before = Service.State.events_applied s in
+    (match Service.State.apply s e with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "event accepted");
+    check_int "rejected event not applied" before (Service.State.events_applied s)
+  in
+  Alcotest.(check bool) "down not structural" false
+    (ok (Ev.Link_down { lag = 0; link = 0; at = 10. }));
+  Alcotest.(check (list (pair int int))) "live down" [ (0, 0) ]
+    (Service.State.live_down s);
+  rejected (Ev.Link_down { lag = 0; link = 0; at = 11. }) (* already down *);
+  rejected (Ev.Link_up { lag = 0; link = 0; at = 5. }) (* time regression *);
+  rejected (Ev.Link_up { lag = 9; link = 0; at = 12. }) (* bad lag *);
+  rejected (Ev.Link_up { lag = 0; link = 7; at = 12. }) (* bad link *);
+  rejected (Ev.Capacity { lag = 0; link = 0; capacity = -1.; at = 12. });
+  Alcotest.(check bool) "up not structural" false
+    (ok (Ev.Link_up { lag = 0; link = 0; at = 12. }));
+  check_int "no structural change yet" 0 (Service.State.structure_generation s);
+  Alcotest.(check bool) "capacity is structural" true
+    (ok (Ev.Capacity { lag = 0; link = 0; capacity = 16.; at = 13. }));
+  check_int "structure generation bumped" 1 (Service.State.structure_generation s);
+  (* the current topology reflects both the new capacity and the
+     renewal estimate for the link that produced telemetry *)
+  let t = Service.State.current_topology s in
+  let lag0 = Wan.Topology.lag t 0 in
+  Alcotest.(check (float 1e-9)) "capacity applied" 16.
+    lag0.Wan.Lag.links.(0).Wan.Lag.link_capacity;
+  Alcotest.(check (float 1e-9)) "estimate = downtime fraction" (2. /. 13.)
+    lag0.Wan.Lag.links.(0).Wan.Lag.fail_prob;
+  (* links without telemetry keep the configured probability *)
+  Alcotest.(check (float 1e-12)) "no telemetry -> configured" 0.01
+    (Wan.Topology.lag t 1).Wan.Lag.links.(0).Wan.Lag.fail_prob
+
+let test_policy_decide () =
+  let d = Service.Policy.decide in
+  Alcotest.(check bool) "structural wins" true
+    (d ~structural_changed:true ~drift:0. ~drift_tol:1. ~down_in_support:false
+    = Service.Policy.Cold);
+  Alcotest.(check bool) "drift above tol" true
+    (d ~structural_changed:false ~drift:0.2 ~drift_tol:0.1 ~down_in_support:false
+    = Service.Policy.Warm);
+  Alcotest.(check bool) "down in support" true
+    (d ~structural_changed:false ~drift:0. ~drift_tol:0.1 ~down_in_support:true
+    = Service.Policy.Warm);
+  Alcotest.(check bool) "quiet -> cached" true
+    (d ~structural_changed:false ~drift:0.05 ~drift_tol:0.1 ~down_in_support:false
+    = Service.Policy.Cached);
+  Alcotest.(check (float 0.)) "drift is max abs diff" 0.25
+    (Service.Policy.drift [| 0.1; 0.5 |] [| 0.2; 0.25 |]);
+  Alcotest.(check bool) "length mismatch -> infinite drift" true
+    (Service.Policy.drift [| 0.1 |] [| 0.1; 0.2 |] = Float.infinity)
+
+(* --- replay determinism ------------------------------------------------- *)
+
+(* one mixed script: telemetry with worst/now/status queries woven in *)
+let script ~seed =
+  let events = telemetry ~seed ~horizon:200. in
+  let n = ref 0 in
+  List.concat_map
+    (fun e ->
+      incr n;
+      [ Ev.Event e ]
+      @ (if !n mod 5 = 2 then [ Ev.Query (Ev.Worst { budget = None; max_nodes = None }) ] else [])
+      @ (if !n mod 3 = 0 then [ Ev.Query (Ev.Now { down = None }) ] else [])
+      @
+      if !n mod 7 = 0 then
+        [ Ev.Query (Ev.Now { down = Some [ (2, 0) ] }) ]
+      else [])
+    events
+  @ [
+      Ev.Query (Ev.Worst { budget = None; max_nodes = None });
+      Ev.Query (Ev.Worst { budget = None; max_nodes = None });
+      Ev.Query Ev.Status;
+    ]
+
+let replay ~domains reqs =
+  let core = make_core ~domains () in
+  let out = List.map (fun r -> render (Service.Core.handle core r)) reqs in
+  (out, Service.Core.tally core)
+
+let test_replay_deterministic_across_domains () =
+  let reqs = script ~seed:3 in
+  let out1, tally1 = replay ~domains:1 reqs in
+  let out4, tally4 = replay ~domains:4 reqs in
+  check_int "same length" (List.length out1) (List.length out4);
+  List.iteri
+    (fun i (a, b) -> check_str (Printf.sprintf "answer %d bit-identical" i) a b)
+    (List.combine out1 out4);
+  let c1, w1, k1 = tally1 and c4, w4, k4 = tally4 in
+  check_int "cached tally" c1 c4;
+  check_int "warm tally" w1 w4;
+  check_int "cold tally" k1 k4;
+  (* the script must actually exercise the interesting paths *)
+  Alcotest.(check bool) "some cached serves" true (c1 > 0);
+  Alcotest.(check bool) "some warm re-solves" true (w1 > 0);
+  Alcotest.(check bool) "exactly one cold solve" true (k1 >= 1);
+  (* every query answer is certified *)
+  List.iter2
+    (fun req out ->
+      match req with
+      | Ev.Query (Ev.Worst _) | Ev.Query (Ev.Now _) ->
+        let j = Result.get_ok (J.of_string out) in
+        Alcotest.(check bool) "ok" true (is_ok j);
+        check_str "cert" "ok" (get_str "cert" j)
+      | _ -> ())
+    reqs out1
+
+let test_now_many_matches_sequential () =
+  let downs =
+    [|
+      None;
+      Some [ (0, 0) ];
+      Some [ (1, 0); (2, 0) ];
+      Some [ (0, 0); (0, 0) ] (* duplicate: must come back as an error *);
+      Some [ (4, 0) ];
+    |]
+  in
+  let batch ~domains =
+    let core = make_core ~domains () in
+    ignore
+      (Service.Core.handle core
+         (Ev.Event (Ev.Link_down { lag = 3; link = 0; at = 50. })));
+    Array.map render (Service.Core.now_many core downs)
+  in
+  let b1 = batch ~domains:1 and b4 = batch ~domains:4 in
+  Alcotest.(check (array string)) "batch identical across domains" b1 b4;
+  (* and identical to serving the same queries one at a time *)
+  let core = make_core ~domains:1 () in
+  ignore
+    (Service.Core.handle core
+       (Ev.Event (Ev.Link_down { lag = 3; link = 0; at = 50. })));
+  Array.iteri
+    (fun i d ->
+      check_str
+        (Printf.sprintf "batch %d = sequential" i)
+        (render (Service.Core.handle core (Ev.Query (Ev.Now { down = d }))))
+        b1.(i))
+    downs;
+  let dup = Result.get_ok (J.of_string b1.(3)) in
+  Alcotest.(check bool) "duplicate down rejected" false (is_ok dup)
+
+(* --- invalidation soundness --------------------------------------------- *)
+
+(* whatever the policy decides (cached / warm), the served worst-case
+   answer must agree with a cold full re-solve of the same state on
+   every solve-relevant field *)
+let stable_fields =
+  [ "status"; "degradation"; "normalized"; "bound"; "scenario"; "num_failed_links"; "cert" ]
+
+let project j =
+  J.to_string (J.Obj (List.map (fun k -> (k, J.member k j)) stable_fields))
+
+let test_invalidation_sound () =
+  let worst = Ev.Query (Ev.Worst { budget = None; max_nodes = None }) in
+  let total_cached = ref 0 in
+  List.iter
+    (fun seed ->
+      let events = List.map (fun e -> Ev.Event e) (telemetry ~seed ~horizon:150.) in
+      let n = List.length events in
+      Alcotest.(check bool) "corpus stream non-trivial" true (n >= 4);
+      (* checkpoints: start, middle twice in a row (the second query sees
+         zero drift and must be served cached), end *)
+      let checkpoints = [ 0; n / 2; n / 2; n ] in
+      let live = make_core () in
+      let applied = ref 0 in
+      List.iter
+        (fun stop ->
+          List.iteri
+            (fun i ev ->
+              if i >= !applied && i < stop then begin
+                Alcotest.(check bool) "event applied" true
+                  (is_ok (Service.Core.handle live ev))
+              end)
+            events;
+          applied := max !applied stop;
+          let served = Service.Core.handle live worst in
+          (* reference: a fresh core replays the same prefix and solves cold *)
+          let fresh = make_core () in
+          List.iteri
+            (fun i ev -> if i < stop then ignore (Service.Core.handle fresh ev))
+            events;
+          let cold = Service.Core.handle fresh worst in
+          Alcotest.(check bool) "served ok" true (is_ok served);
+          check_str
+            (Printf.sprintf "seed %d prefix %d: %s serve agrees with cold re-solve"
+               seed stop (get_str "provenance" served))
+            (project cold) (project served))
+        checkpoints;
+      let cached, _, _ = Service.Core.tally live in
+      total_cached := !total_cached + cached)
+    [ 5; 11 ];
+  Alcotest.(check bool) "corpus exercised the cached path" true (!total_cached > 0)
+
+let test_down_in_support_invalidates () =
+  let core = make_core () in
+  let worst = Ev.Query (Ev.Worst { budget = None; max_nodes = None }) in
+  let first = Service.Core.handle core worst in
+  check_str "first solve is cold" "cold" (get_str "provenance" first);
+  (* the worst-case support is non-empty under max_failures = 1 *)
+  let support =
+    match J.member "scenario" first with
+    | J.List (J.List [ J.Int e; J.Int i ] :: _) -> (e, i)
+    | j -> Alcotest.fail (Printf.sprintf "unexpected scenario %s" (J.to_string j))
+  in
+  (* a link in the cached support going down must force a re-solve even
+     though the probability drift alone would be tolerated *)
+  let lag, link = support in
+  Alcotest.(check bool) "down event applied" true
+    (is_ok (Service.Core.handle core (Ev.Event (Ev.Link_down { lag; link; at = 1e-3 }))));
+  let second = Service.Core.handle core worst in
+  check_str "support hit forces warm re-solve" "warm" (get_str "provenance" second)
+
+(* --- budget exhaustion -------------------------------------------------- *)
+
+let test_budget_exhaustion_honest () =
+  let core = make_core () in
+  let starved =
+    Service.Core.handle core
+      (Ev.Query (Ev.Worst { budget = Some 2; max_nodes = Some 1 }))
+  in
+  Alcotest.(check bool) "still a response" true (is_ok starved);
+  let status = get_str "status" starved in
+  Alcotest.(check bool)
+    (Printf.sprintf "no optimality claim under starvation (got %s)" status)
+    true
+    (status = "feasible" || status = "unknown");
+  Alcotest.(check bool) "never a false cert failure" true
+    (get_str "cert" starved <> "fail");
+  (* the starved answer is cached like any other; a full-budget query
+     must not reuse it blindly -- same state, zero drift, yet the next
+     full query upgrades to optimal *)
+  let full = Service.Core.handle core (Ev.Query (Ev.Worst { budget = None; max_nodes = None })) in
+  check_str "full-budget query re-solves to optimal" "optimal" (get_str "status" full)
+
+(* --- socket round trip -------------------------------------------------- *)
+
+let test_socket_roundtrip () =
+  (* Unix.fork is unavailable once earlier suites have spawned domains,
+     so the server runs on a thread; select/read/write release the
+     runtime lock, and a shutdown request makes [run] return. *)
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "raha-test-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let server = Thread.create (fun () -> Service.Server.run ~socket (make_core ())) () in
+  Fun.protect
+    ~finally:(fun () -> try Unix.unlink socket with Unix.Unix_error _ -> ())
+    (fun () ->
+      let ask line =
+        match Service.Server.request ~socket line with
+        | Ok resp -> Result.get_ok (J.of_string resp)
+        | Error m -> Alcotest.fail m
+      in
+      let status = ask {|{"op":"query","q":"status"}|} in
+      Alcotest.(check bool) "status ok" true (is_ok status);
+      check_str "status kind" "status" (get_str "kind" status);
+      Alcotest.(check bool) "event ok" true
+        (is_ok (ask {|{"op":"event","ev":"down","lag":3,"link":0,"t":7.5}|}));
+      let now = ask {|{"op":"query","q":"now"}|} in
+      check_str "now kind" "now" (get_str "kind" now);
+      check_str "now certified" "ok" (get_str "cert" now);
+      let bad = ask {|{"op":"query","q":"now","down":[[0,0],[0,0]]}|} in
+      Alcotest.(check bool) "protocol error reported in-band" false (is_ok bad);
+      let bye = ask {|{"op":"shutdown"}|} in
+      Alcotest.(check bool) "bye" true (J.to_bool (J.member "bye" bye) = Some true);
+      Thread.join server;
+      Alcotest.(check bool) "socket unlinked on shutdown" false
+        (Sys.file_exists socket))
+
+let suite =
+  [
+    ("json round trip", `Quick, test_json_roundtrip);
+    ("protocol round trip", `Quick, test_protocol_roundtrip);
+    ("state ingestion", `Quick, test_state_apply);
+    ("invalidation policy table", `Quick, test_policy_decide);
+    ("replay deterministic across domains", `Quick, test_replay_deterministic_across_domains);
+    ("now batch = sequential", `Quick, test_now_many_matches_sequential);
+    ("invalidation sound on corpus", `Quick, test_invalidation_sound);
+    ("down-in-support invalidates", `Quick, test_down_in_support_invalidates);
+    ("budget exhaustion honest", `Quick, test_budget_exhaustion_honest);
+    ("socket round trip", `Quick, test_socket_roundtrip);
+  ]
