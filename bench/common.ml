@@ -9,7 +9,10 @@ type ctx = {
   budget : float;  (** per-solve wall-clock budget, seconds *)
   full : bool;
   quick : bool;  (** trimmed grids for smoke runs *)
-  domains : int;  (** OCaml domains for the scenario-sweep experiments *)
+  domains : int;
+      (** OCaml domains for the scenario-sweep experiments and the MILP
+          core (parallel branch-and-bound rounds, concurrent cluster
+          blocks); results are bit-identical for any value *)
   presolve : bool;  (** MILP presolve for every solve ([--no-presolve]) *)
   dense_simplex : bool;  (** legacy dense LP engine ([--dense-simplex]) *)
   certify : bool;  (** independent solution audit ([--no-certify]) *)
@@ -75,7 +78,7 @@ let cut_options ctx =
 let options ctx spec =
   { (Raha.Analysis.with_timeout ctx.budget) with spec; presolve = ctx.presolve;
     dense_simplex = ctx.dense_simplex; certify = ctx.certify;
-    cuts = cut_options ctx; batch = ctx.batch }
+    cuts = cut_options ctx; batch = ctx.batch; domains = ctx.domains }
 
 (* Deterministic certificate summary for the [counters:] lines CI diffs:
    verdict plus the max primal residual rounded to one significant digit
@@ -94,8 +97,10 @@ let analyze ctx sp topo paths envelope =
 
 (* Evaluate one independent cell per array entry across ctx.domains
    domains, order-preserving, and emit the per-sweep stats line. Cells
-   keep options.domains = 1 — the parallelism lives at the sweep level,
-   and nested pools are rejected by design. *)
+   carry options.domains = ctx.domains, but a cell running inside a
+   pool task never creates a pool of its own — nested scopes run their
+   exact sequential paths — so the parallelism stays at the sweep
+   level here and results match the sequential run bit for bit. *)
 let par_cells ctx f cells =
   if ctx.domains <= 1 || Array.length cells < 2 then Array.map f cells
   else

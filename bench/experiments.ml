@@ -938,6 +938,88 @@ let batch_bench ctx =
   row
     "(off rebuilds formulation+factorization per scenario; on pays them once.      bwarm counts warm dual overlay solves, certify the Batch.check audits —      failures must be 0)@."
 
+(* ----------------------------------------------------------- bb-parallel *)
+
+(* Parallel branch-and-bound (DESIGN.md §14): bilevel cells solved twice
+   — domains=1 (no pool, rounds run inline) and domains=ctx (pool) —
+   with a tiny round width/grain so the parallel scheduler engages even
+   on these small trees. Everything on the [counters:] lines is
+   schedule-independent (degradation bits, bound bits, node and round
+   counts, certificates, cut audits), so CI runs the whole experiment
+   at --domains 1 and --domains 4 and diffs the lines; the per-cell
+   [identical=] flag additionally compares the two arms of a single run
+   bit for bit. Wall-clock and the pool's busy/wall overlap are printed
+   as plain rows (not diffed) and recorded in BENCH_bb_parallel.json. *)
+let bb_parallel ctx =
+  section ctx ~id:"bb-parallel"
+    ~paper:"parallel branch-and-bound: subtree rounds, shared incumbent (DESIGN.md §14)"
+    ~config:"fig1 + africa-like bilevel cells, bb_width=2 bb_grain=4, domains 1 vs N";
+  let fig1_topo = Wan.Generators.fig1 () in
+  let fig1_paths = paths_of ~primary:2 ~backup:0 fig1_topo [ (1, 3); (2, 3) ] in
+  let typical = Traffic.Demand.of_list [ ((1, 3), 12.); ((2, 3), 10.) ] in
+  let fig1_env = Traffic.Envelope.around ~slack:0.5 typical in
+  let topo2, pairs2 = wan_small () in
+  let paths2 = paths_of topo2 pairs2 in
+  let env2 = Traffic.Envelope.from_zero ~slack:0.2 (base_demand pairs2) in
+  let cells =
+    [
+      ("fig1 k=1", spec ~max_failures:1 ~levels:5 (), fig1_topo, fig1_paths, fig1_env);
+      ("fig1 k=2", spec ~max_failures:2 ~levels:5 (), fig1_topo, fig1_paths, fig1_env);
+      ("africa", spec ~threshold:1e-4 ~max_failures:2 (), topo2, paths2, env2);
+    ]
+  in
+  let total_rounds = ref 0 in
+  row "%-10s %-6s %-12s %-8s %-8s %-8s@." "cell" "arm" "deg" "nodes" "rounds"
+    "time(s)";
+  List.iter
+    (fun (name, sp, topo, paths, env) ->
+      let opt domains =
+        { (options ctx sp) with Raha.Analysis.domains; bb_width = 2; bb_grain = 4 }
+      in
+      let arm arm_name pool domains =
+        let r0 = Milp.Branch_bound.cumulative_rounds () in
+        let a0 = Milp.Cuts.cumulative_audit_failures () in
+        let t0 = Unix.gettimeofday () in
+        let r = Raha.Analysis.analyze ?pool ~options:(opt domains) topo paths env in
+        let dt = Unix.gettimeofday () -. t0 in
+        let rounds = Milp.Branch_bound.cumulative_rounds () - r0 in
+        let aud = Milp.Cuts.cumulative_audit_failures () - a0 in
+        row "%-10s %-6s %-12s %-8d %-8d %-8.2f@." name arm_name (deg_str r)
+          r.Raha.Analysis.nodes rounds dt;
+        (r, rounds, aud)
+      in
+      let seq, seq_rounds, seq_aud = arm "dom=1" None 1 in
+      let (par, par_rounds, par_aud), pool_line =
+        if ctx.domains <= 1 then (arm "dom=1b" None 1, None)
+        else
+          Parallel.Pool.with_pool ~counters:Milp.Solver.stats_counters
+            ~domains:ctx.domains (fun pool ->
+              let r = arm (Printf.sprintf "dom=%d" ctx.domains) (Some pool) ctx.domains in
+              (r, Some (Format.asprintf "%a" Parallel.Pool.pp_stats (Parallel.Pool.stats pool))))
+      in
+      (match pool_line with Some l -> row "%s@." l | None -> ());
+      total_rounds := !total_rounds + par_rounds;
+      let identical =
+        Int64.bits_of_float seq.Raha.Analysis.degradation
+        = Int64.bits_of_float par.Raha.Analysis.degradation
+        && Int64.bits_of_float seq.Raha.Analysis.bound
+           = Int64.bits_of_float par.Raha.Analysis.bound
+        && seq.Raha.Analysis.nodes = par.Raha.Analysis.nodes
+        && seq_rounds = par_rounds
+        && Failure.Scenario.equal seq.Raha.Analysis.scenario par.Raha.Analysis.scenario
+      in
+      row
+        "counters: bb-parallel | cell=%s | deg=%s bound=%016Lx nodes=%d rounds=%d cert=%s aud=%d identical=%b@."
+        name (deg_str par)
+        (Int64.bits_of_float par.Raha.Analysis.bound)
+        par.Raha.Analysis.nodes par_rounds (cert_str par) (seq_aud + par_aud)
+        identical)
+    cells;
+  row "counters: bb-parallel | total | rounds=%d engaged=%b@." !total_rounds
+    (!total_rounds > 0);
+  row
+    "(both arms run the same round scheduler — it engages on frontier width, the      pool only moves where subtrees solve — so every line above must be identical      at --domains 1 and --domains 4, and aud must be 0)@."
+
 (* ---------------------------------------------------------------- service *)
 
 (* Always-on degradation service (DESIGN.md §13): a recorded telemetry
@@ -1149,6 +1231,7 @@ let all : (string * string * (ctx -> unit)) list =
     ("cuts", "cutting planes (Gomory/cover/clique pool) on vs off", cuts_bench);
     ("montecarlo", "Monte Carlo sampling vs Raha's worst case (§1)", montecarlo);
     ("batch", "batched scenario engine (overlay + warm) on vs off", batch_bench);
+    ("bb-parallel", "parallel branch-and-bound rounds, domains 1 vs N", bb_parallel);
     ("service", "always-on service vs cold-solve-per-query replay", service_bench);
     ("ffc", "FFC-protected network still degrades beyond k (§2.2)", ffc);
   ]

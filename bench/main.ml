@@ -26,7 +26,7 @@ let () =
       ("--only", Arg.String (fun s -> only := String.split_on_char ',' s), "IDS comma-separated ids");
       ("--budget", Arg.Set_float budget, "SECONDS per-solve budget (default 10)");
       ("--domains", Arg.Set_int domains,
-       "N OCaml domains for the scenario sweeps (default: all cores; 1 = sequential)");
+       "N OCaml domains for the scenario sweeps and the MILP core (default: all cores; 1 = sequential; results bit-identical either way)");
       ("--quick", Arg.Set quick, " trimmed grids");
       ("--full", Arg.Set full, " larger topologies and budgets");
       ("--skip-micro", Arg.Set skip_micro, " skip the Bechamel micro-benchmarks");

@@ -165,7 +165,7 @@ let domains_arg =
     & opt int (Domain.recommended_domain_count ())
     & info [ "domains" ]
         ~doc:
-          "OCaml domains used for scenario-evaluation sweeps (default: all cores;               $(b,1) forces the sequential path — results are identical either way).")
+          "OCaml domains used for scenario-evaluation sweeps and the MILP core               (parallel branch-and-bound subtree rounds, concurrent cluster-block               waves). Default: all cores; $(b,1) forces the sequential path —               results are bit-identical either way.")
 
 let no_presolve_arg =
   Arg.(

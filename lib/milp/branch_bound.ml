@@ -15,6 +15,9 @@ type options = {
   engine : Simplex.engine;
   sx_iters : int option;
   cuts : Cuts.options;
+  pool : Parallel.Pool.t option;
+  par_width : int;
+  par_grain : int;
 }
 
 let default =
@@ -31,6 +34,9 @@ let default =
     engine = Simplex.Revised;
     sx_iters = None;
     cuts = Cuts.default;
+    pool = None;
+    par_width = 32;
+    par_grain = 64;
   }
 
 type outcome = Optimal | Feasible | No_incumbent | Infeasible | Unbounded
@@ -40,7 +46,17 @@ type outcome = Optimal | Feasible | No_incumbent | Infeasible | Unbounded
 let nodes_key = Domain.DLS.new_key (fun () -> ref 0)
 let cumulative_nodes () = !(Domain.DLS.get nodes_key)
 
-type stats = { nodes : int; simplex_iters : int; elapsed : float }
+let rounds_key = Domain.DLS.new_key (fun () -> ref 0)
+let cumulative_rounds () = !(Domain.DLS.get rounds_key)
+
+type stats = {
+  nodes : int;
+  simplex_iters : int;
+  elapsed : float;
+  rounds : int;
+  dropped : int;
+  dropped_key : float;
+}
 
 type t = {
   outcome : outcome;
@@ -136,6 +152,41 @@ module Heap = struct
   let best_key h = if h.len = 0 then None else Some h.a.(0).key
 end
 
+(* --- shared incumbent for concurrent subtree solves -------------------- *)
+
+(* An incumbent candidate offered by a subtree task. [iorigin] is the
+   task's frontier index — the canonical ordinal of the subtree in the
+   round's deterministic pop order. Candidates are totally ordered:
+   higher objective wins, ties go to the smaller origin (the subtree the
+   sequential algorithm would have reached first). The final cell value
+   is the maximum under that order, independent of CAS interleaving, so
+   the merged incumbent is bit-identical across domain counts. *)
+type inc_cand = { iobj : float; iorigin : int; ivalues : float array }
+
+(* Monotone CAS publish: retry until [cand] is installed or provably not
+   better than the current value under the total order. *)
+let rec offer_incumbent cell cand =
+  let cur = Atomic.get cell in
+  let better =
+    match cur with
+    | None -> true
+    | Some c ->
+      cand.iobj > c.iobj || (cand.iobj = c.iobj && cand.iorigin < c.iorigin)
+  in
+  if better && not (Atomic.compare_and_set cell cur (Some cand)) then
+    offer_incumbent cell cand
+
+(* What a subtree task hands back at the round barrier. [tr_left] holds
+   the open nodes the task did not process (grain budget or task-local
+   gap stop), in the task's canonical best-first order. *)
+type task_result = {
+  tr_nodes : int;
+  tr_iters : int;
+  tr_dropped : int;
+  tr_dropped_key : float;
+  tr_left : Heap.elt list;
+}
+
 let solve ?(options = default) model =
   let t0 = Unix.gettimeofday () in
   let sense, _ = Model.objective model in
@@ -177,9 +228,13 @@ let solve ?(options = default) model =
       prep := Simplex.prepare xm;
       xrows := rows_of xm
   in
+  (* [keep_factor]: bases extracted here are shared across child nodes —
+     and, in parallel rounds, across concurrently solved subtrees — so
+     publish the LU snapshot eagerly. Every warm start then reinstates
+     in O(m) and the factorization counter stays schedule-independent. *)
   let lp ?warm ~lb ~ub () =
     Simplex.solve_prepared ~engine:options.engine ?max_iters:options.sx_iters
-      ?warm ~lb ~ub !prep
+      ?warm ~keep_factor:true ~lb ~ub !prep
   in
   (* Nodes whose LP hit the iteration budget are dropped from the search,
      but their subtree is unexplored: remember the tightest parent bound
@@ -342,7 +397,11 @@ let solve ?(options = default) model =
       bound -. !incumbent_obj <= options.abs_gap
       || bound -. !incumbent_obj <= options.rel_gap *. Float.max 1. (Float.abs !incumbent_obj)
   in
-  while !status = `Running do
+  (* One legacy best-first node step: pop, solve, separate, branch. This
+     is the exact sequential algorithm; it also serves as the ramp-up
+     and narrow-frontier path of the parallel scheduler below, so small
+     trees behave exactly as before. *)
+  let sequential_step () =
     match Heap.pop heap with
     | None -> status := `Exhausted
     | Some { key = parent_key; node; _ } ->
@@ -495,6 +554,193 @@ let solve ?(options = default) model =
               end
           end
       end
+  in
+  (* --- parallel rounds --------------------------------------------------
+     When the frontier is wide enough, a round drains the heap in
+     canonical pop order into an array of subtree tasks. Each task is a
+     pure function of (its root node, the round-start incumbent, the
+     frozen LP/cut state): it explores its subtree best-first up to
+     [par_grain] nodes with the same pruning rule, publishing incumbent
+     candidates to a shared cell (monotone CAS under a total order) but
+     never reading it mid-round. At the barrier, results merge in
+     frontier index order — node counts, dropped-subtree accounting and
+     the adopted incumbent are therefore bit-identical whether the tasks
+     ran inline, on 2 domains or on 8. Cut separation and plunging stay
+     owner-side (sequential steps and barriers), so the pool, [prep] and
+     the incumbent refs are never touched concurrently. *)
+  let par_width = if options.par_width <= 0 then max_int else max 2 options.par_width in
+  let par_grain = max 1 options.par_grain in
+  let rounds = ref 0 in
+  (* Owner-side simplex iterations are metered as deltas of the
+     domain-local counter between rounds ([sync_owner]); task iterations
+     are metered inside each task on whatever domain ran it. Summing the
+     two never double-counts — after an inline round the owner's counter
+     advance is discarded via [mark] — and keeps [stats.simplex_iters]
+     identical across pool widths. *)
+  let task_iters = ref 0 in
+  let seq_iters = ref 0 in
+  let mark = ref simplex0 in
+  let sync_owner () =
+    let now = Simplex.last_iterations () in
+    seq_iters := !seq_iters + (now - !mark);
+    mark := now
+  in
+  let parallel_round () =
+    match Heap.best_key heap with
+    | None -> status := `Exhausted
+    | Some top_key ->
+      if gap_closed top_key then status := `Gap_closed
+      else if !nodes >= options.max_nodes || time_up () then status := `Limit
+      else begin
+        sync_owner ();
+        incr rounds;
+        incr (Domain.DLS.get rounds_key);
+        (* bound the round by the remaining node budget so [max_nodes]
+           cannot be overshot by more than one round's grain *)
+        let budget_tasks =
+          let remaining = options.max_nodes - !nodes in
+          max 1 ((remaining + par_grain - 1) / par_grain)
+        in
+        let ntasks = min heap.Heap.len (min (4 * par_width) budget_tasks) in
+        let frontier = Array.make ntasks Heap.dummy in
+        for i = 0 to ntasks - 1 do
+          match Heap.pop heap with
+          | Some e -> frontier.(i) <- e
+          | None -> assert false
+        done;
+        (* freeze the LP and cut-pool state for the round: tasks solve
+           against [prep0] read-only and tag children with [gen0] *)
+        let prep0 = !prep and gen0 = !gen and last_prune0 = !last_prune in
+        let inc0_obj = !incumbent_obj in
+        let inc0_exists = !incumbent <> None in
+        let cell = Atomic.make None in
+        let task i (elt : Heap.elt) =
+          let s0 = Simplex.last_iterations () in
+          let total = Domain.DLS.get nodes_key in
+          let lheap = Heap.create () in
+          Heap.push lheap elt;
+          let tn = ref 0 and tdropped = ref 0 and tdropped_key = ref neg_infinity in
+          let lbest = ref inc0_obj and lhave = ref inc0_exists in
+          let left = ref [] in
+          let lgap_closed k =
+            !lhave
+            && (k -. !lbest <= options.abs_gap
+                || k -. !lbest <= options.rel_gap *. Float.max 1. (Float.abs !lbest))
+          in
+          let stop = ref false in
+          while not !stop do
+            match Heap.pop lheap with
+            | None -> stop := true
+            | Some ({ key; node; _ } as e) ->
+              (* a gap-closed top or an exhausted grain stops the task;
+                 the node goes back unprocessed (the local heap is
+                 best-first, so everything below it is no better) *)
+              if lgap_closed key || !tn >= par_grain then begin
+                left := [ e ];
+                stop := true
+              end
+              else begin
+                incr tn;
+                incr total;
+                let warm =
+                  match node.pbasis with
+                  | Some b when node.pgen >= last_prune0 ->
+                    Simplex.extend_basis b prep0
+                  | Some _ | None -> None
+                in
+                match
+                  Simplex.solve_prepared ~engine:options.engine
+                    ?max_iters:options.sx_iters ?warm ~keep_factor:true
+                    ~lb:node.nlb ~ub:node.nub prep0
+                with
+                | Simplex.Infeasible, _ -> ()
+                | Simplex.Unbounded, _ ->
+                  (* in-tree nodes only (the root is always processed in
+                     the sequential ramp), same as the sequential step *)
+                  ()
+                | Simplex.Iter_limit, _ ->
+                  incr tdropped;
+                  if key > !tdropped_key then tdropped_key := key
+                | Simplex.Optimal { obj; values }, fbasis ->
+                  let bound = osign *. obj in
+                  if bound <= !lbest +. options.abs_gap then () (* pruned *)
+                  else begin
+                    match find_fractional values with
+                    | None ->
+                      if bound > !lbest then begin
+                        lbest := bound;
+                        lhave := true;
+                        offer_incumbent cell
+                          { iobj = bound; iorigin = i; ivalues = Array.copy values }
+                      end
+                    | Some id ->
+                      let x = values.(id) in
+                      let fl = Float.floor x and ce = Float.ceil x in
+                      let mk which =
+                        let nlb = Array.copy node.nlb and nub = Array.copy node.nub in
+                        (match which with
+                        | `Down -> nub.(id) <- fl
+                        | `Up -> nlb.(id) <- ce);
+                        if nlb.(id) <= nub.(id) +. 1e-12 then
+                          Heap.push lheap
+                            {
+                              key = bound;
+                              depth = node.depth + 1;
+                              node =
+                                {
+                                  nlb;
+                                  nub;
+                                  depth = node.depth + 1;
+                                  parent_bound = bound;
+                                  pbasis = fbasis;
+                                  pgen = gen0;
+                                };
+                            }
+                      in
+                      if x -. fl > 0.5 then (mk `Down; mk `Up) else (mk `Up; mk `Down)
+                  end
+              end
+          done;
+          let rec drain acc =
+            match Heap.pop lheap with
+            | None -> List.rev acc
+            | Some e -> drain (e :: acc)
+          in
+          {
+            tr_nodes = !tn;
+            tr_iters = Simplex.last_iterations () - s0;
+            tr_dropped = !tdropped;
+            tr_dropped_key = !tdropped_key;
+            tr_left = !left @ drain [];
+          }
+        in
+        let results =
+          match options.pool with
+          | Some pool -> Parallel.Pool.mapi_array pool task frontier
+          | None -> Array.mapi task frontier
+        in
+        (* inline tasks advanced the owner's counter; their iterations
+           are already in [tr_iters], so drop the owner delta *)
+        mark := Simplex.last_iterations ();
+        Array.iter
+          (fun tr ->
+            nodes := !nodes + tr.tr_nodes;
+            task_iters := !task_iters + tr.tr_iters;
+            dropped := !dropped + tr.tr_dropped;
+            if tr.tr_dropped_key > !dropped_bound then
+              dropped_bound := tr.tr_dropped_key;
+            List.iter (fun e -> Heap.push heap e) tr.tr_left)
+          results;
+        (* adopt the round's merged incumbent last: the cut audit inside
+           may prune the pool and bump [last_prune], correctly voiding
+           the leftover nodes' frozen-generation bases *)
+        match Atomic.get cell with
+        | Some w -> consider_incumbent w.ivalues w.iobj
+        | None -> ()
+      end
+  in
+  while !status = `Running do
+    if heap.Heap.len >= par_width then parallel_round () else sequential_step ()
   done;
   let elapsed = Unix.gettimeofday () -. t0 in
   let best_bound =
@@ -507,8 +753,16 @@ let solve ?(options = default) model =
     (* never report a bound below a dropped subtree's key *)
     Float.max live !dropped_bound
   in
+  sync_owner ();
   let stats =
-    { nodes = !nodes; simplex_iters = Simplex.last_iterations () - simplex0; elapsed }
+    {
+      nodes = !nodes;
+      simplex_iters = !seq_iters + !task_iters;
+      elapsed;
+      rounds = !rounds;
+      dropped = !dropped;
+      dropped_key = !dropped_bound;
+    }
   in
   let values = match !incumbent with Some v -> v | None -> Array.make nv 0. in
   let mk outcome obj bound = { outcome; obj; bound; values; stats } in

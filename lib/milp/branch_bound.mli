@@ -40,6 +40,22 @@ type options = {
           [Cuts.disabled] ([--no-cuts]) restores the pre-cut search
           exactly. A cut that fails its incumbent audit is dropped and
           taints the outcome ([Optimal] -> [Feasible]). *)
+  pool : Parallel.Pool.t option;
+      (** Domain pool for concurrent subtree solves; default [None]
+          (rounds run inline). The round scheduler is the same algorithm
+          either way — it engages purely on frontier width — so results
+          and all counters are bit-identical for any pool width,
+          including no pool at all. *)
+  par_width : int;
+      (** Open-node frontier size at which the search switches from
+          sequential best-first steps to parallel subtree rounds
+          (clamped to [>= 2] so the root is always processed
+          sequentially); [<= 0] disables rounds entirely, restoring the
+          pure legacy loop. Default 32. *)
+  par_grain : int;
+      (** Per-task node budget within one round: each frontier subtree
+          explores at most this many nodes before handing its open
+          nodes back at the barrier. Default 64. *)
 }
 
 val default : options
@@ -55,6 +71,12 @@ val better_key : float * int -> float * int -> bool
     {!Simplex.cumulative_iterations}). *)
 val cumulative_nodes : unit -> int
 
+(** Domain-local cumulative count of parallel subtree rounds. Rounds
+    are scheduled by the solve's owner domain, so reading this before
+    and after a solve on the calling domain gives that solve's round
+    count whatever pool (if any) ran the subtree tasks. *)
+val cumulative_rounds : unit -> int
+
 type outcome =
   | Optimal  (** incumbent proven optimal within the gap *)
   | Feasible
@@ -68,7 +90,16 @@ type outcome =
 type stats = {
   nodes : int;
   simplex_iters : int;
+      (** owner-side iteration deltas plus per-task deltas — identical
+          across pool widths, unlike a raw domain-local counter diff *)
   elapsed : float;
+  rounds : int;  (** parallel subtree rounds executed (0 = pure sequential) *)
+  dropped : int;  (** subtrees dropped on a per-LP iteration budget *)
+  dropped_key : float;
+      (** tightest parent bound over the dropped subtrees, in the
+          internal maximization sense; [neg_infinity] when none. Folded
+          into the reported [bound]; exposed so determinism tests can
+          compare the dropped-subtree accounting directly. *)
 }
 
 type t = {

@@ -579,22 +579,32 @@ let run_dual st =
 (* ------------------------------------------------------------------ *)
 (* Drivers                                                             *)
 
-let extract_basis st =
+let extract_basis ?(keep_factor = false) st =
+  (* [keep_factor] publishes the LU snapshot at extraction time instead
+     of on first warm use. A basis shared across concurrent subtree
+     solves then carries its factorization from birth: every sharer
+     reinstates in O(m) (Basis.of_snapshot), and the factorization
+     counter stays independent of which domain warms first — a lazy
+     fill would let racing sharers each pay (and count) a Basis.create. *)
+  let bfactor =
+    if keep_factor then Atomic.make (Some (Basis.snapshot st.bas))
+    else Atomic.make None
+  in
   Some
     {
       bn = st.sp.Sparse.n;
       bnv = st.sp.Sparse.nv;
       bstat = Array.copy st.stat;
       bbcols = Array.copy st.bcols;
-      bfactor = Atomic.make None;
+      bfactor;
     }
 
-let finish_optimal (prep : prepared) st =
+let finish_optimal ?keep_factor (prep : prepared) st =
   let values = Array.sub st.x 0 st.sp.Sparse.nv in
   let _, obj = Model.objective prep.pmodel in
-  (Optimal { obj = Linexpr.eval values obj; values }, extract_basis st)
+  (Optimal { obj = Linexpr.eval values obj; values }, extract_basis ?keep_factor st)
 
-let cold_solve prep ~rhs bounds ~max_iters ~degen_limit =
+let cold_solve ?keep_factor prep ~rhs bounds ~max_iters ~degen_limit =
   let st = cold_state prep ~rhs bounds ~max_iters ~degen_limit in
   let rec go () =
     match run_primal st ~phase1:true with
@@ -603,7 +613,7 @@ let cold_solve prep ~rhs bounds ~max_iters ~degen_limit =
       (Infeasible, None)
     | `Feasible -> (
       match run_primal st ~phase1:false with
-      | `Optimal -> finish_optimal prep st
+      | `Optimal -> finish_optimal ?keep_factor prep st
       | `Lost_feas ->
         (* restore feasibility with another phase 1 on the remaining
            budget (Lost_feas implies at least one pivot was spent, so
@@ -624,7 +634,7 @@ let of_dense = function
   | Dense_simplex.Iter_limit -> Iter_limit
 
 let solve_prepared ?(engine = Revised) ?lb ?ub ?b ?max_iters ?degen_limit ?warm
-    (prep : prepared) =
+    ?keep_factor (prep : prepared) =
   (match b with
   | Some rhs when Array.length rhs <> prep.sp.Sparse.m ->
     invalid_arg "Simplex.solve_prepared: rhs overlay length <> rows"
@@ -645,7 +655,7 @@ let solve_prepared ?(engine = Revised) ?lb ?ub ?b ?max_iters ?degen_limit ?warm
     try
       let bounds = fresh_bounds prep ?lb ?ub () in
       let cold iters =
-        try cold_solve prep ~rhs bounds ~max_iters:iters ~degen_limit
+        try cold_solve ?keep_factor prep ~rhs bounds ~max_iters:iters ~degen_limit
         with Basis.Singular _ when b = None ->
           (* pathological basis beyond slack repair: degrade to the
              dense tableau rather than crash the solve. With a rhs
@@ -675,7 +685,7 @@ let solve_prepared ?(engine = Revised) ?lb ?ub ?b ?max_iters ?degen_limit ?warm
                    left dual feasible, otherwise its bound may be
                    understated *)
                 if dual_feasible st (reduced_costs st) then
-                  `Done (finish_optimal prep st)
+                  `Done (finish_optimal ?keep_factor prep st)
                 else `Cold (max 1 st.iters)
               | `Infeasible ->
                 (* dual unboundedness proves primal infeasibility only

@@ -17,6 +17,9 @@ type options = {
   certify : bool;
   cuts : Cuts.options;
   sx_iters : int option;
+  pool : Parallel.Pool.t option;
+  bb_width : int;
+  bb_grain : int;
 }
 
 (* The values shared with branch-and-bound are derived from
@@ -38,6 +41,9 @@ let default_options =
     certify = true;
     cuts = d.Branch_bound.cuts;
     sx_iters = d.Branch_bound.sx_iters;
+    pool = d.Branch_bound.pool;
+    bb_width = d.Branch_bound.par_width;
+    bb_grain = d.Branch_bound.par_grain;
   }
 
 let engine_of options =
@@ -100,6 +106,15 @@ let solve_direct ~options ~t0 model =
         engine = engine_of options;
         cuts = options.cuts;
         sx_iters = options.sx_iters;
+        (* a solve already running inside a pool task (cluster blocks in
+           a sweep) must not re-enter the pool: rounds then run inline,
+           which the scheduler keeps bit-identical anyway *)
+        pool =
+          (match options.pool with
+          | Some _ when Parallel.Pool.inside_task () -> None
+          | p -> p);
+        par_width = options.bb_width;
+        par_grain = options.bb_grain;
       }
     in
     let r = Branch_bound.solve ~options:bb_options model in

@@ -45,6 +45,19 @@ type options = {
           subtree degrades [Optimal] to [Feasible] (or [Infeasible] to
           [Unknown]) with the bound folded over the dropped parents —
           the admission-control knob a serving layer needs. *)
+  pool : Parallel.Pool.t option;
+      (** domain pool for concurrent branch-and-bound subtree solves
+          (default [None] = inline). Results and counters are
+          bit-identical for any pool width — see
+          {!Branch_bound.options.pool}. A solve issued from inside a
+          pool task never re-enters the pool (rounds run inline). *)
+  bb_width : int;
+      (** frontier width that triggers parallel subtree rounds; [<= 0]
+          restores the pure sequential search. See
+          {!Branch_bound.options.par_width}. *)
+  bb_grain : int;
+      (** per-subtree node budget within a round; see
+          {!Branch_bound.options.par_grain}. *)
 }
 
 (** Defaults shared with branch-and-bound are derived from

@@ -47,10 +47,16 @@ type t = {
   s_counters : int array;
 }
 
-(* True while this domain is executing a pool task; mapping functions of
-   pools that have workers refuse to run then (a nested sweep would
-   oversubscribe the machine and can deadlock on the same pool). *)
+(* True while this domain is executing a pool task. Mapping functions
+   called then run their items as an inline *sequential sub-scope*
+   instead of fanning out again: a nested parallel sweep would
+   oversubscribe the machine and can deadlock on the same pool, while a
+   sequential one composes — a scenario sweep may call the parallel
+   branch-and-bound and vice versa, and both degrade to the exact
+   sequential path at the inner level. *)
 let in_task = Domain.DLS.new_key (fun () -> false)
+
+let inside_task () = Domain.DLS.get in_task
 
 let merge_chunk t ~items ~elapsed ~deltas ~job =
   Mutex.lock t.mutex;
@@ -176,9 +182,16 @@ let run_items t n run =
           run i
         done)
   end
+  else if Domain.DLS.get in_task then
+    (* Nested sub-scope: this domain is already executing a pool task
+       (of this pool or another), so fanning out would oversubscribe or
+       deadlock. Run the items inline instead — the enclosing chunk's
+       busy time and counter deltas already cover this work, so nothing
+       is recorded here and the nesting is invisible in the stats. *)
+    for i = 0 to n - 1 do
+      run i
+    done
   else begin
-    if Domain.DLS.get in_task then
-      invalid_arg "Parallel.Pool: nested parallel map from inside a pool task";
     let t0 = Unix.gettimeofday () in
     (* ~4 chunks per domain: coarse enough to amortize claiming, fine
        enough that uneven solve times still balance *)
@@ -224,7 +237,16 @@ let mapi_array t f a =
        items run through the pool. *)
     let t0 = Unix.gettimeofday () in
     let before = Array.map (fun (_, read) -> read ()) t.counters in
-    let r0 = f 0 a.(0) in
+    (* element 0 counts as a task of a parallel pool, exactly like the
+       chunks behind it, so a nested map from inside it stays inline;
+       sequential pools remain transparent *)
+    let was_in_task = Domain.DLS.get in_task in
+    if t.workers <> [] then Domain.DLS.set in_task true;
+    let r0 =
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set in_task was_in_task)
+        (fun () -> f 0 a.(0))
+    in
     let elapsed = Unix.gettimeofday () -. t0 in
     let deltas = Array.mapi (fun i (_, read) -> read () - before.(i)) t.counters in
     Mutex.lock t.mutex;

@@ -16,9 +16,17 @@
     - a pool created with [~domains:1] spawns no worker domains and runs
       everything inline on the caller — the exact old sequential path.
 
-    Nested parallelism is rejected: calling a mapping function of a pool
-    that has workers from inside a pool task raises [Invalid_argument].
-    Sequential pools ([~domains:1]) may be used anywhere. *)
+    Nested parallelism degrades to a sequential sub-scope: calling a
+    mapping function of a pool that has workers from inside a pool task
+    (of the same pool or another) runs the items inline on the calling
+    domain instead of fanning out again — fanning out would
+    oversubscribe the machine, and re-entering the same pool could
+    deadlock. Both nesting directions compose this way: a scenario sweep
+    may call the parallel branch-and-bound and vice versa; the inner
+    level takes the exact sequential path, so results are unchanged.
+    Nested work is accounted to the enclosing chunk's busy time and
+    counter deltas, not recorded as separate tasks. Sequential pools
+    ([~domains:1]) record their own stats and may be used anywhere. *)
 
 type t
 
@@ -61,6 +69,11 @@ val iter_array : t -> ('a -> unit) -> 'a array -> unit
     floating-point reductions stay deterministic. *)
 val map_reduce :
   t -> map:('a -> 'b) -> combine:('c -> 'b -> 'c) -> init:'c -> 'a array -> 'c
+
+(** [inside_task ()] is [true] while the calling domain is executing a
+    pool task (any pool). Components that would otherwise create their
+    own pool can consult this to stay sequential inside a sweep. *)
+val inside_task : unit -> bool
 
 val stats : t -> stats
 val reset_stats : t -> unit

@@ -12,6 +12,8 @@ type options = {
   cuts : Milp.Cuts.options;
   batch : bool;
   sx_iters : int option;
+  bb_width : int;
+  bb_grain : int;
 }
 
 let default_options =
@@ -29,6 +31,8 @@ let default_options =
     cuts = Milp.Cuts.default;
     batch = true;
     sx_iters = None;
+    bb_width = Milp.Solver.default_options.Milp.Solver.bb_width;
+    bb_grain = Milp.Solver.default_options.Milp.Solver.bb_grain;
   }
 
 let with_timeout t = { default_options with time_limit = t }
@@ -55,12 +59,18 @@ type report = {
    — filtered by the spec's constraints and ranked by simulated impact.
    Each becomes a plunge hint (a warm start for the MILP search). *)
 (* Evaluate [f] over the array on [domains] domains; order-preserving,
-   so downstream ranking is identical whatever the parallelism. *)
-let par_map ~domains f arr =
-  if domains <= 1 || Array.length arr < 2 then Array.map f arr
-  else
-    Parallel.Pool.with_pool ~counters:Milp.Solver.stats_counters ~domains (fun pool ->
-        Parallel.Pool.map_array pool f arr)
+   so downstream ranking is identical whatever the parallelism. A
+   caller-supplied pool (one per [analyze], shared with the MILP core)
+   is used directly; otherwise a transient pool serves this one sweep. *)
+let par_map ?pool ~domains f arr =
+  match pool with
+  | Some pool when Array.length arr >= 2 -> Parallel.Pool.map_array pool f arr
+  | Some _ | None ->
+    if domains <= 1 || Array.length arr < 2 || Parallel.Pool.inside_task () then
+      Array.map f arr
+    else
+      Parallel.Pool.with_pool ~counters:Milp.Solver.stats_counters ~domains (fun pool ->
+          Parallel.Pool.map_array pool f arr)
 
 (* The demand the candidate screening sweeps route: the envelope corner
    matching the spec's goal. *)
@@ -78,7 +88,7 @@ let screening_engine ~spec topo paths envelope =
   Te.Simulate.prepare ~objective:spec.Bilevel.objective topo paths
     (screening_demand spec envelope)
 
-let seed_candidates ?screen spec topo paths envelope ~limit ~domains ~batch =
+let seed_candidates ?screen ?pool spec topo paths envelope ~limit ~domains ~batch =
   let admissible s =
     (match spec.Bilevel.threshold with
     | Some t -> Failure.Scenario.prob topo s >= t
@@ -142,7 +152,7 @@ let seed_candidates ?screen spec topo paths envelope ~limit ~domains ~batch =
     (* one independent scenario solve per candidate: the sweep the pool
        parallelizes; scores come back in candidate order *)
     let arr = Array.of_list candidates in
-    Array.to_list (par_map ~domains (fun s -> (score s, s)) arr)
+    Array.to_list (par_map ?pool ~domains (fun s -> (score s, s)) arr)
     |> List.filter (fun (sc, _) -> sc > neg_infinity)
     |> List.sort (fun (a, _) (b, _) -> compare b a)
   in
@@ -153,8 +163,7 @@ let seed_candidates ?screen spec topo paths envelope ~limit ~domains ~batch =
   in
   List.map (fun (_, s) -> (s, demand_for)) (take limit scored)
 
-let analyze ?screen ?(extra_cuts = []) ?(options = default_options) topo paths
-    envelope =
+let analyze_with ?screen ?(extra_cuts = []) ?pool ~options topo paths envelope =
   let built = Bilevel.build options.spec topo paths envelope in
   (* Caller-supplied valid inequalities (e.g. cuts persisted from a
      previous solve of the same structure; see Milp.Cuts.structural)
@@ -173,7 +182,7 @@ let analyze ?screen ?(extra_cuts = []) ?(options = default_options) topo paths
     | Some 0 -> []
     | limit ->
       let limit = Option.value limit ~default:6 in
-      seed_candidates ?screen options.spec topo paths envelope ~limit
+      seed_candidates ?screen ?pool options.spec topo paths envelope ~limit
         ~domains:options.domains ~batch:options.batch
       |> List.map (fun (s, d) -> Bilevel.hint built ~scenario:s ~demand:d)
   in
@@ -191,6 +200,9 @@ let analyze ?screen ?(extra_cuts = []) ?(options = default_options) topo paths
       certify = options.certify;
       cuts = options.cuts;
       sx_iters = options.sx_iters;
+      pool;
+      bb_width = options.bb_width;
+      bb_grain = options.bb_grain;
     }
   in
   let sol = Milp.Solver.solve ~options:solver_options built.Bilevel.model in
@@ -290,6 +302,21 @@ let analyze ?screen ?(extra_cuts = []) ?(options = default_options) topo paths
     elapsed = sol.Milp.Solver.elapsed;
     nodes = sol.Milp.Solver.nodes;
   }
+
+(* One pool per analysis, shared by the candidate-screening sweep and
+   the branch-and-bound subtree rounds. A caller-held pool ([?pool]) is
+   borrowed instead; inside a pool task no pool is created at all — the
+   nested levels run their exact sequential paths, so results are
+   identical either way. *)
+let analyze ?screen ?extra_cuts ?pool ?(options = default_options) topo paths
+    envelope =
+  match pool with
+  | None when options.domains > 1 && not (Parallel.Pool.inside_task ()) ->
+    Parallel.Pool.with_pool ~counters:Milp.Solver.stats_counters
+      ~domains:options.domains (fun pool ->
+        analyze_with ?screen ?extra_cuts ~pool ~options topo paths envelope)
+  | None -> analyze_with ?screen ?extra_cuts ~options topo paths envelope
+  | Some pool -> analyze_with ?screen ?extra_cuts ~pool ~options topo paths envelope
 
 let pp_report ppf r =
   Format.fprintf ppf

@@ -20,9 +20,11 @@ type options = {
           [Some 0] disables seeding. *)
   domains : int;
       (** OCaml domains used for the scenario-evaluation sweeps (seed
-          candidate scoring here, enumeration in {!Baselines}). [1]
-          (the default) is the exact sequential path; results are
-          identical for any value. *)
+          candidate scoring here, enumeration in {!Baselines}) and for
+          the MILP core itself: one pool per {!analyze} is shared by the
+          screening sweep and the branch-and-bound subtree rounds
+          ({!Milp.Branch_bound.options.pool}). [1] (the default) is the
+          exact sequential path; results are identical for any value. *)
   presolve : bool;
       (** run the {!Milp.Presolve} reductions (big-M tightening, probing
           on the failure binaries, …) before branch-and-bound; default
@@ -60,6 +62,15 @@ type options = {
           Exhaustion degrades the status honestly ([Optimal] →
           [Feasible], no incumbent → [Unknown]) — the per-query
           admission budget of the serving layer. *)
+  bb_width : int;
+      (** frontier width at which branch-and-bound switches to parallel
+          subtree rounds ({!Milp.Solver.options.bb_width}); default 32.
+          [<= 0] restores the pure sequential search. Results are
+          bit-identical for any value — this only moves the
+          sequential/parallel crossover. *)
+  bb_grain : int;
+      (** per-subtree node budget within one parallel round
+          ({!Milp.Solver.options.bb_grain}); default 64. *)
 }
 
 val default_options : options
@@ -104,10 +115,17 @@ type report = {
     persisted from a previous solve of the same structure) to the model
     before solving; supplying an inequality that is {e not} valid for
     this model makes answers wrong, so callers must re-check validity —
-    see {!Milp.Cuts.structural}. *)
+    see {!Milp.Cuts.structural}.
+
+    [?pool] lends an existing domain pool to the screening sweep and
+    the branch-and-bound rounds; without it one pool is created per
+    call when [options.domains > 1] (never from inside a pool task —
+    nested calls run their exact sequential paths). Results are
+    bit-identical with or without a pool, at any width. *)
 val analyze :
   ?screen:Te.Simulate.engine ->
   ?extra_cuts:Milp.Cuts.structural list ->
+  ?pool:Parallel.Pool.t ->
   ?options:options ->
   Wan.Topology.t ->
   Netpath.Path_set.t ->

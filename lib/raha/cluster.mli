@@ -22,13 +22,35 @@ type result = {
   demand : Traffic.Demand.t;  (** the assembled demand matrix *)
   block_solves : int;
   total_elapsed : float;
+  wave_budgets : float list;
+      (** per-solve time budget assigned to each wave (source clusters
+          in order, then the final solve) — exposes the deterministic
+          redistribution of unused budget for tests and reports *)
 }
 
+(** Per-solve budget for the next wave: [remaining] seconds spread
+    evenly over [solves_left] upcoming solves ([infinity] passes
+    through). {!analyze} re-evaluates this at every wave boundary, so
+    budget unused by fast early blocks flows to the remaining ones in
+    wave order (exposed for unit tests). *)
+val wave_budget : remaining:float -> solves_left:int -> float
+
 (** [analyze ~options ~clusters topo paths envelope] runs Algorithm 1.
-    [options.time_limit] is split evenly across all solver invocations
-    (the §8.5 experiment design). [clusters = 1] degenerates to a single
-    free-demand solve followed by a fixed-demand solve. *)
+    [options.time_limit] is split across solver invocations: each wave's
+    solves get an even share of the budget still unspent when the wave
+    starts ({!wave_budget}), so hard late blocks inherit what fast early
+    blocks did not use. [clusters = 1] degenerates to a single
+    free-demand solve followed by a fixed-demand solve.
+
+    The (source, destination) blocks of one source cluster are
+    independent — they free disjoint demand sets and read the pre-wave
+    matrix — and solve concurrently on the pool ([?pool], or one
+    created per call when [options.domains > 1]); their demands are
+    adopted in destination order, so the assembled matrix does not
+    depend on the execution schedule. The final fixed-demand solve runs
+    the parallel branch-and-bound on the same pool. *)
 val analyze :
+  ?pool:Parallel.Pool.t ->
   ?options:Analysis.options ->
   clusters:int ->
   Wan.Topology.t ->

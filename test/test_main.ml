@@ -17,5 +17,6 @@ let () =
       ("batch", Test_batch.suite);
       ("certify", Test_certify.suite);
       ("parallel", Test_parallel.suite);
+      ("bb parallel", Test_bb_parallel.suite);
       ("service", Test_service.suite);
     ]

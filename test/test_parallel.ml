@@ -51,15 +51,48 @@ let test_exception_propagation () =
       Alcotest.(check (array int)) "pool still usable" [| 2; 4 |]
         (Parallel.Pool.map_array pool (fun x -> 2 * x) [| 1; 2 |]))
 
-let test_nested_map_rejected () =
+let test_nested_map_same_pool () =
+  (* re-entering the same pool from a task runs the inner sweep as an
+     inline sequential sub-scope — same results, no deadlock *)
   Parallel.Pool.with_pool ~domains (fun pool ->
-      match
+      let r =
         Parallel.Pool.map_array pool
-          (fun x -> Parallel.Pool.map_array pool succ [| x; x |])
-          (Array.init 32 Fun.id)
-      with
-      | _ -> Alcotest.fail "nested parallel map accepted"
-      | exception Invalid_argument _ -> ())
+          (fun x ->
+            Array.fold_left ( + ) 0 (Parallel.Pool.map_array pool succ [| x; x |]))
+          (Array.init 64 Fun.id)
+      in
+      Alcotest.(check (array int)) "nested same-pool map"
+        (Array.init 64 (fun x -> 2 * (x + 1)))
+        r)
+
+let test_nested_map_other_pool () =
+  (* both nesting directions across two parallel pools: the outer sweep
+     owns the fan-out, the inner call degrades to sequential *)
+  Parallel.Pool.with_pool ~domains (fun outer ->
+      Parallel.Pool.with_pool ~domains (fun inner ->
+          let r =
+            Parallel.Pool.map_array outer
+              (fun x ->
+                Alcotest.(check bool) "inside task" true (Parallel.Pool.inside_task ());
+                Array.fold_left ( + ) 0
+                  (Parallel.Pool.map_array inner (fun y -> y * y) [| x; x + 1 |]))
+              (Array.init 48 Fun.id)
+          in
+          Alcotest.(check (array int)) "outer-calls-inner"
+            (Array.init 48 (fun x -> (x * x) + ((x + 1) * (x + 1))))
+            r;
+          (* and the reverse direction on the same two pools *)
+          let r' =
+            Parallel.Pool.map_array inner
+              (fun x ->
+                Array.fold_left ( + ) 0
+                  (Parallel.Pool.map_array outer (fun y -> y * y) [| x; x + 1 |]))
+              (Array.init 48 Fun.id)
+          in
+          Alcotest.(check (array int)) "inner-calls-outer"
+            (Array.init 48 (fun x -> (x * x) + ((x + 1) * (x + 1))))
+            r';
+          Alcotest.(check bool) "outside task" false (Parallel.Pool.inside_task ())))
 
 let test_nested_sequential_pool_ok () =
   (* a [domains:1] pool runs inline and is legal anywhere, including
@@ -200,7 +233,8 @@ let suite =
     ("pool: more domains than items", `Quick, test_more_domains_than_items);
     ("pool: order preserved", `Quick, test_order_preserved);
     ("pool: exception propagation", `Quick, test_exception_propagation);
-    ("pool: nested map rejected", `Quick, test_nested_map_rejected);
+    ("pool: nested map same pool", `Quick, test_nested_map_same_pool);
+    ("pool: nested map other pool", `Quick, test_nested_map_other_pool);
     ("pool: nested sequential pool ok", `Quick, test_nested_sequential_pool_ok);
     ("pool: map_reduce", `Quick, test_map_reduce);
     ("pool: stats and counters", `Quick, test_stats);
