@@ -19,12 +19,17 @@ type ctx = {
   cuts : bool;  (** cutting planes for every MILP solve ([--no-cuts]) *)
   cut_rounds : int option;  (** root separation rounds ([--cut-rounds]) *)
   batch : bool;  (** batched scenario engine for the sweeps ([--no-batch]) *)
+  branching : Milp.Branch_bound.branching;
+      (** branch-and-bound variable selection ([--branching]) *)
+  heuristics : bool;  (** pump/RINS primal heuristics ([--no-heuristics]) *)
+  rins_freq : int;  (** RINS cadence in nodes, 0 disables ([--rins-freq]) *)
 }
 
 let default_ctx =
   { budget = 10.; full = false; quick = false; domains = 1; presolve = true;
     dense_simplex = false; certify = true; cuts = true; cut_rounds = None;
-    batch = true }
+    batch = true; branching = Milp.Branch_bound.Reliability; heuristics = true;
+    rins_freq = Milp.Solver.default_options.Milp.Solver.rins_freq }
 
 let printf = Format.printf
 
@@ -78,7 +83,9 @@ let cut_options ctx =
 let options ctx spec =
   { (Raha.Analysis.with_timeout ctx.budget) with spec; presolve = ctx.presolve;
     dense_simplex = ctx.dense_simplex; certify = ctx.certify;
-    cuts = cut_options ctx; batch = ctx.batch; domains = ctx.domains }
+    cuts = cut_options ctx; batch = ctx.batch; domains = ctx.domains;
+    branching = ctx.branching; heuristics = ctx.heuristics;
+    rins_freq = ctx.rins_freq }
 
 (* Deterministic certificate summary for the [counters:] lines CI diffs:
    verdict plus the max primal residual rounded to one significant digit

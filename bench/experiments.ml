@@ -1020,6 +1020,138 @@ let bb_parallel ctx =
   row
     "(both arms run the same round scheduler — it engages on frontier width, the      pool only moves where subtrees solve — so every line above must be identical      at --domains 1 and --domains 4, and aud must be 0)@."
 
+(* ----------------------------------------------------------- branching *)
+
+(* Branching-rule and primal-heuristics ablation: the cuts-bench cells
+   solved with the legacy search (most-fractional branching, plunge-only
+   incumbents — the exact pre-pseudocost code path) versus the default
+   reliability branching with the pump/RINS heuristics enabled. Both
+   arms solve the same bilevel MILPs to optimality, so the degradations
+   must agree; the reliability arm must visit fewer nodes (recorded in
+   BENCH_branching.json against BENCH_cuts.json's 53/15-node baselines).
+   The [counters:] lines add sb (strong-branching probes), pcu
+   (pseudocost observations), hs/hr (heuristic incumbents accepted /
+   rejected by the unified-tolerance re-check — hr must stay 0 on this
+   corpus, and every hs passed the same tolerance Certify enforces) and
+   the usual aud/certify gates. Everything printed is deterministic (no
+   wall clock), so CI double-runs the experiment and diffs, and an
+   in-run identity check re-solves the reliability arm at bb_width=2
+   under domains 1 vs N — pseudocost tables are frozen during parallel
+   rounds and merged in frontier order, so the [identical=] flag must
+   hold at any pool width. *)
+let branching_bench ctx =
+  section ctx ~id:"branching"
+    ~paper:"reliability branching + primal heuristics vs most-fractional (DESIGN.md §15)"
+    ~config:
+      "fig1 worked example (sd:5, kkt) + africa-like WAN (8 nodes, sd:3); revised engine";
+  let cells =
+    let f1 = Wan.Generators.fig1 () in
+    let f1_paths = paths_of ~primary:2 ~backup:0 f1 [ (1, 3); (2, 3) ] in
+    let f1_env =
+      Traffic.Envelope.around ~slack:0.5
+        (Traffic.Demand.of_list [ ((1, 3), 12.); ((2, 3), 10.) ])
+    in
+    let sp5 = spec ~max_failures:1 ~levels:5 () in
+    let topo, pairs = wan_small () in
+    let paths = paths_of topo pairs in
+    let env = Traffic.Envelope.from_zero ~slack:0.3 (base_demand pairs) in
+    let base =
+      [
+        ("fig1 / sd:5", sp5, f1, f1_paths, f1_env);
+        ("fig1 / kkt", { sp5 with Raha.Bilevel.encoding = Raha.Bilevel.Kkt }, f1,
+         f1_paths, f1_env);
+      ]
+    in
+    if ctx.quick then base
+    else base @ [ ("wan8 / sd:3", spec ~threshold:1e-5 (), topo, paths, env) ]
+  in
+  let total_sb = ref 0 and total_pcu = ref 0 in
+  let total_hs = ref 0 and total_hr = ref 0 in
+  row "%-14s %-5s %-12s %-8s %-7s %-8s %-5s %-6s %-5s %-5s %-5s@." "cell" "arm"
+    "degradation" "time(s)" "nodes" "pivots" "sb" "pcu" "hs" "hr" "aud";
+  List.iter
+    (fun (name, sp, topo, paths, env) ->
+      let run arm_name opts =
+        (* fresh counters per arm (Lp_stats.reset_all): the raw
+           cumulative reads below are then per-arm values *)
+        Milp.Lp_stats.reset_all ();
+        let t0 = Unix.gettimeofday () in
+        let r = Raha.Analysis.analyze ~options:opts topo paths env in
+        let dt = Unix.gettimeofday () -. t0 in
+        let pivots = Milp.Simplex.cumulative_iterations ()
+        and duals = Milp.Simplex.cumulative_dual_pivots ()
+        and sb = Milp.Branch_bound.cumulative_sb_probes ()
+        and pcu = Milp.Branch_bound.cumulative_pseudocost_updates ()
+        and hs = Milp.Branch_bound.cumulative_heuristic_solutions ()
+        and hr = Milp.Branch_bound.cumulative_heuristic_rejections ()
+        and aud = Milp.Cuts.cumulative_audit_failures ()
+        and cc = Milp.Certify.cumulative_checks ()
+        and cf = Milp.Certify.cumulative_failures () in
+        total_sb := !total_sb + sb;
+        total_pcu := !total_pcu + pcu;
+        total_hs := !total_hs + hs;
+        total_hr := !total_hr + hr;
+        row "%-14s %-5s %-12s %-8.2f %-7d %-8d %-5d %-6d %-5d %-5d %-5d@." name
+          arm_name (deg_str r) dt r.Raha.Analysis.nodes pivots sb pcu hs hr aud;
+        row
+          "counters: %s | arm=%s | deg=%s nodes=%d pivots=%d dual=%d sb=%d pcu=%d hs=%d hr=%d aud=%d certify=%d/%d cert=%s@."
+          name arm_name (deg_str r) r.Raha.Analysis.nodes pivots duals sb pcu hs
+          hr aud cf cc (cert_str r);
+        r
+      in
+      (* frac arm = the exact pre-pseudocost search: most-fractional
+         branching, plunge-only incumbents, no pump/RINS *)
+      let frac_opts =
+        { (options ctx sp) with
+          Raha.Analysis.branching = Milp.Branch_bound.Fractional;
+          heuristics = false }
+      in
+      let rel_opts =
+        { (options ctx sp) with
+          Raha.Analysis.branching = Milp.Branch_bound.Reliability;
+          heuristics = true }
+      in
+      let _frac = run "frac" frac_opts in
+      let _rel = run "rel" rel_opts in
+      (* identity check: reliability branching under parallel rounds
+         (bb_width=2 so rounds engage on these small trees) must be
+         bit-identical at domains 1 vs N — frozen pseudocost tables,
+         frontier-order merge *)
+      let ident domains pool =
+        Milp.Lp_stats.reset_all ();
+        let opts =
+          { rel_opts with Raha.Analysis.domains; bb_width = 2; bb_grain = 4 }
+        in
+        Raha.Analysis.analyze ?pool ~options:opts topo paths env
+      in
+      let seq = ident 1 None in
+      let par =
+        if ctx.domains <= 1 then ident 1 None
+        else
+          Parallel.Pool.with_pool ~counters:Milp.Solver.stats_counters
+            ~domains:ctx.domains (fun pool -> ident ctx.domains (Some pool))
+      in
+      let identical =
+        Int64.bits_of_float seq.Raha.Analysis.degradation
+        = Int64.bits_of_float par.Raha.Analysis.degradation
+        && Int64.bits_of_float seq.Raha.Analysis.bound
+           = Int64.bits_of_float par.Raha.Analysis.bound
+        && seq.Raha.Analysis.nodes = par.Raha.Analysis.nodes
+        && Failure.Scenario.equal seq.Raha.Analysis.scenario
+             par.Raha.Analysis.scenario
+      in
+      row
+        "counters: %s | ident | deg=%s bound=%016Lx nodes=%d cert=%s identical=%b@."
+        name (deg_str par)
+        (Int64.bits_of_float par.Raha.Analysis.bound)
+        par.Raha.Analysis.nodes (cert_str par) identical)
+    cells;
+  row "counters: branching | total | sb=%d pcu=%d hs=%d hr=%d engaged=%b@."
+    !total_sb !total_pcu !total_hs !total_hr
+    (!total_sb > 0 && !total_pcu > 0);
+  row
+    "(same degradations both arms; fewer nodes under rel; hr must be 0 — every      heuristic incumbent is re-checked at the certifier's tolerance before      acceptance; identical= must hold at any --domains)@."
+
 (* ---------------------------------------------------------------- service *)
 
 (* Always-on degradation service (DESIGN.md §13): a recorded telemetry
@@ -1232,6 +1364,7 @@ let all : (string * string * (ctx -> unit)) list =
     ("montecarlo", "Monte Carlo sampling vs Raha's worst case (§1)", montecarlo);
     ("batch", "batched scenario engine (overlay + warm) on vs off", batch_bench);
     ("bb-parallel", "parallel branch-and-bound rounds, domains 1 vs N", bb_parallel);
+    ("branching", "reliability branching + heuristics vs most-fractional", branching_bench);
     ("service", "always-on service vs cold-solve-per-query replay", service_bench);
     ("ffc", "FFC-protected network still degrades beyond k (§2.2)", ffc);
   ]

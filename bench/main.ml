@@ -20,6 +20,9 @@ let () =
   let no_certify = ref false in
   let no_cuts = ref false and cut_rounds = ref 0 and cut_rounds_set = ref false in
   let no_batch = ref false in
+  let branching = ref Milp.Branch_bound.Reliability in
+  let no_heuristics = ref false in
+  let rins_freq = ref Common.default_ctx.Common.rins_freq in
   let args =
     [
       ("--list", Arg.Set list, " list experiment ids");
@@ -42,6 +45,17 @@ let () =
        "N cut separation rounds at the branch-and-bound root (default 6)");
       ("--no-batch", Arg.Set no_batch,
        " disable the batched scenario engine (per-scenario prepares instead)");
+      ("--branching",
+       Arg.String
+         (function
+           | "reliability" -> branching := Milp.Branch_bound.Reliability
+           | "fractional" -> branching := Milp.Branch_bound.Fractional
+           | s -> raise (Arg.Bad ("unknown branching rule " ^ s))),
+       "RULE branch-and-bound variable selection: reliability (default) or fractional");
+      ("--no-heuristics", Arg.Set no_heuristics,
+       " disable the feasibility-pump and RINS primal heuristics");
+      ("--rins-freq", Arg.Set_int rins_freq,
+       "N RINS cadence in branch-and-bound nodes (default 200; 0 disables)");
     ]
   in
   Arg.parse (Arg.align args) (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
@@ -65,6 +79,9 @@ let () =
         cuts = not !no_cuts;
         cut_rounds = (if !cut_rounds_set then Some !cut_rounds else None);
         batch = not !no_batch;
+        branching = !branching;
+        heuristics = not !no_heuristics;
+        rins_freq = !rins_freq;
       }
     in
     (* an unknown id in --only would otherwise be silently skipped *)

@@ -210,6 +210,38 @@ let cut_rounds_arg =
         ~doc:
           "Number of cut separation rounds at the branch-and-bound root               (default 6). Ignored under $(b,--no-cuts).")
 
+let branching_arg =
+  let parse = function
+    | "reliability" -> Ok Milp.Branch_bound.Reliability
+    | "fractional" -> Ok Milp.Branch_bound.Fractional
+    | _ -> Error (`Msg "branching: reliability or fractional")
+  in
+  let print ppf = function
+    | Milp.Branch_bound.Reliability -> Format.pp_print_string ppf "reliability"
+    | Milp.Branch_bound.Fractional -> Format.pp_print_string ppf "fractional"
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Milp.Branch_bound.Reliability
+    & info [ "branching" ] ~docv:"RULE"
+        ~doc:
+          "Branch-and-bound variable selection: $(b,reliability) (pseudocost               estimates initialized by strong-branching probes; default) or               $(b,fractional) (legacy most-fractional rule).")
+
+let no_heuristics_arg =
+  Arg.(
+    value & flag
+    & info [ "no-heuristics" ]
+        ~doc:
+          "Disable the feasibility-pump and RINS primal heuristics, keeping               only the legacy diving cadence for incumbents.")
+
+let rins_freq_arg =
+  Arg.(
+    value
+    & opt int Milp.Solver.default_options.Milp.Solver.rins_freq
+    & info [ "rins-freq" ] ~docv:"N"
+        ~doc:
+          "Run RINS neighborhood search every N branch-and-bound nodes once an               incumbent exists (default 200; 0 disables RINS). Ignored under               $(b,--no-heuristics).")
+
 let clusters_arg =
   Arg.(value & opt int 1 & info [ "clusters" ] ~doc:"Clusters for Algorithm 1 (1 = off).")
 
@@ -259,7 +291,7 @@ type setup = {
 
 let make_setup topo pairs num_pairs primary backup threshold max_failures ce slack
     volume timeout domains no_presolve dense_simplex no_certify no_cuts no_batch
-    cut_rounds encoding objective demand_file =
+    cut_rounds branching no_heuristics rins_freq encoding objective demand_file =
   let base =
     match demand_file with
     | Some path -> Traffic.Demand_io.load path
@@ -302,6 +334,9 @@ let make_setup topo pairs num_pairs primary backup threshold max_failures ce sla
       certify = not no_certify;
       cuts;
       batch = not no_batch;
+      branching;
+      heuristics = not no_heuristics;
+      rins_freq;
     }
   in
   { topo; paths; envelope; options }
@@ -311,8 +346,9 @@ let setup_term =
     const make_setup $ topology_arg $ pairs_arg $ num_pairs_arg $ primary_arg
     $ backup_arg $ threshold_arg $ max_failures_arg $ ce_arg $ slack_arg $ volume_arg
     $ timeout_arg $ domains_arg $ no_presolve_arg $ dense_simplex_arg
-    $ no_certify_arg $ no_cuts_arg $ no_batch_arg $ cut_rounds_arg $ encoding_arg
-    $ objective_arg $ demand_file_arg)
+    $ no_certify_arg $ no_cuts_arg $ no_batch_arg $ cut_rounds_arg $ branching_arg
+    $ no_heuristics_arg $ rins_freq_arg $ encoding_arg $ objective_arg
+    $ demand_file_arg)
 
 (* --- subcommands ------------------------------------------------------- *)
 

@@ -2,6 +2,8 @@ let src = Logs.Src.create "milp.bb" ~doc:"branch and bound"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+type branching = Reliability | Fractional
+
 type options = {
   max_nodes : int;
   time_limit : float;
@@ -18,6 +20,10 @@ type options = {
   pool : Parallel.Pool.t option;
   par_width : int;
   par_grain : int;
+  branching : branching;
+  heuristics : bool;
+  rins_freq : int;
+  on_incumbent : (float array -> unit) option;
 }
 
 let default =
@@ -37,6 +43,10 @@ let default =
     pool = None;
     par_width = 32;
     par_grain = 64;
+    branching = Reliability;
+    heuristics = true;
+    rins_freq = 200;
+    on_incumbent = None;
   }
 
 type outcome = Optimal | Feasible | No_incumbent | Infeasible | Unbounded
@@ -48,6 +58,119 @@ let cumulative_nodes () = !(Domain.DLS.get nodes_key)
 
 let rounds_key = Domain.DLS.new_key (fun () -> ref 0)
 let cumulative_rounds () = !(Domain.DLS.get rounds_key)
+
+let cumulative_sb_probes () = Lp_stats.read Lp_stats.sb_probes ()
+let cumulative_pseudocost_updates () = Lp_stats.read Lp_stats.pseudocost_updates ()
+let cumulative_heuristic_solutions () = Lp_stats.read Lp_stats.heuristic_solutions ()
+let cumulative_heuristic_rejections () = Lp_stats.read Lp_stats.heuristic_rejections ()
+
+(* --- pseudocost / reliability branching -------------------------------- *)
+
+(* Per-variable up/down degradation estimates, indexed by the variable's
+   position in the solve's [int_ids]. [*_sum] accumulates observed bound
+   degradations per unit of fractional distance, [*_cnt] the number of
+   observations (strong-branching probes and real child LPs alike)
+   backing the estimate. *)
+type pc = {
+  dn_sum : float array;
+  dn_cnt : int array;
+  up_sum : float array;
+  up_cnt : int array;
+}
+
+let pc_create n =
+  { dn_sum = Array.make n 0.; dn_cnt = Array.make n 0;
+    up_sum = Array.make n 0.; up_cnt = Array.make n 0 }
+
+let pc_copy pc =
+  { dn_sum = Array.copy pc.dn_sum; dn_cnt = Array.copy pc.dn_cnt;
+    up_sum = Array.copy pc.up_sum; up_cnt = Array.copy pc.up_cnt }
+
+let pc_update pc pos ~up g =
+  if up then begin
+    pc.up_sum.(pos) <- pc.up_sum.(pos) +. g;
+    pc.up_cnt.(pos) <- pc.up_cnt.(pos) + 1
+  end
+  else begin
+    pc.dn_sum.(pos) <- pc.dn_sum.(pos) +. g;
+    pc.dn_cnt.(pos) <- pc.dn_cnt.(pos) + 1
+  end
+
+(* Average observed pseudocost per direction — the standard initializer
+   for variables without observations of their own; 1.0 when the table
+   is empty, so fresh scores reduce to the product of fractionalities. *)
+let pc_avg sum cnt =
+  let s = ref 0. and n = ref 0 in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        s := !s +. (sum.(i) /. float_of_int c);
+        incr n
+      end)
+    cnt;
+  if !n = 0 then 1.0 else !s /. float_of_int !n
+
+let pc_reliability pc pos = min pc.dn_cnt.(pos) pc.up_cnt.(pos)
+
+(* observations per direction before an estimate is trusted without a
+   fresh strong-branching probe *)
+let pc_rel_threshold = 4
+
+(* strong-branching probe budget per node *)
+let pc_probe_cap = 8
+
+(* Fractional candidates restricted to the highest branch-priority
+   class, in ascending variable-id order. *)
+let branch_candidates ~int_tol ~priority int_ids values =
+  let best_pri = ref min_int in
+  Array.iter
+    (fun id ->
+      if Float.abs (values.(id) -. Float.round values.(id)) > int_tol then begin
+        let pri = priority id in
+        if pri > !best_pri then best_pri := pri
+      end)
+    int_ids;
+  if !best_pri = min_int then [||]
+  else
+    Array.of_seq
+      (Seq.filter
+         (fun id ->
+           Float.abs (values.(id) -. Float.round values.(id)) > int_tol
+           && priority id = !best_pri)
+         (Array.to_seq int_ids))
+
+(* Pseudocost selection under the product rule. [gains] optionally
+   carries per-candidate strong-branching measurements for this node
+   ([nan] = no measurement for that direction, [infinity] = the probe
+   proved the child infeasible — the best possible branching outcome).
+   Candidates arrive in ascending id order and only a strictly better
+   score displaces the leader, so ties break deterministically to the
+   lowest variable id. *)
+let pc_select pc ~ipos ?gains cands values =
+  let avg_dn = pc_avg pc.dn_sum pc.dn_cnt in
+  let avg_up = pc_avg pc.up_sum pc.up_cnt in
+  let best = ref (-1) and best_score = ref neg_infinity in
+  Array.iteri
+    (fun k id ->
+      let pos = ipos.(id) in
+      let x = values.(id) in
+      let fd = x -. Float.floor x and fu = Float.ceil x -. x in
+      let est sum cnt avg = if cnt > 0 then sum /. float_of_int cnt else avg in
+      let gd, gu = match gains with Some g -> g.(k) | None -> (nan, nan) in
+      let dd =
+        if Float.is_nan gd then est pc.dn_sum.(pos) pc.dn_cnt.(pos) avg_dn *. fd
+        else gd
+      and du =
+        if Float.is_nan gu then est pc.up_sum.(pos) pc.up_cnt.(pos) avg_up *. fu
+        else gu
+      in
+      let score = Float.max dd 1e-6 *. Float.max du 1e-6 in
+      if score > !best_score then begin
+        best := id;
+        best_score := score
+      end)
+    cands;
+  if !best < 0 then None else Some !best
 
 type stats = {
   nodes : int;
@@ -80,6 +203,12 @@ type node = {
          happened, so the basis extends with the new slacks
          (Simplex.extend_basis) and stays dual feasible; a basis from
          before the last pruning generation is unusable. *)
+  bvar : int;
+      (* variable the parent branched on to create this node (-1 at the
+         root): solving this node's LP measures the true bound
+         degradation of that decision, feeding the pseudocost table *)
+  bup : bool;  (* branch direction *)
+  bfrac : float;  (* fractional distance covered by the branch *)
 }
 
 (* Heap ordering: prefer the better parent bound; bounds within a
@@ -102,7 +231,7 @@ module Heap = struct
 
   let dummy_node =
     { nlb = [||]; nub = [||]; depth = 0; parent_bound = 0.; pbasis = None;
-      pgen = 0 }
+      pgen = 0; bvar = -1; bup = false; bfrac = 0. }
   let dummy = { key = neg_infinity; depth = 0; node = dummy_node }
   let create () = { a = Array.make 64 dummy; len = 0 }
   let better x y = better_key (x.key, x.depth) (y.key, y.depth)
@@ -185,6 +314,10 @@ type task_result = {
   tr_dropped : int;
   tr_dropped_key : float;
   tr_left : Heap.elt list;
+  tr_pc : (int * bool * float) list;
+      (* pseudocost observations (position, direction, gain-per-frac) in
+         the task's generation order, merged into the master table at
+         the barrier in frontier index order *)
 }
 
 let solve ?(options = default) model =
@@ -194,6 +327,11 @@ let solve ?(options = default) model =
   let osign = match sense with Model.Maximize -> 1. | Model.Minimize -> -1. in
   let int_ids = Array.of_list (Model.int_var_ids model) in
   let nv = Model.num_vars model in
+  let nint = Array.length int_ids in
+  let ipos = Array.make (max nv 1) (-1) in
+  Array.iteri (fun k id -> ipos.(id) <- k) int_ids;
+  let pc = pc_create nint in
+  let reliability = options.branching = Reliability && nint > 0 in
   let lb0, ub0 = Model.bounds model in
   let nodes = ref 0 and simplex0 = Simplex.last_iterations () in
   (* Cutting planes. The pool holds globally valid <= rows over the
@@ -273,75 +411,39 @@ let solve ?(options = default) model =
   | Some v when Model.check_feasible ~tol:options.int_tol model v = None ->
     consider_incumbent v (osign *. Model.objective_value model v)
   | Some _ | None -> ());
-  (* Plunge heuristic: from a node's bounds, repeatedly fix the most
-     fractional integer variable to its rounded value and re-solve the
-     LP. One flip retry per variable on infeasibility. Produces integral
+  (* Primal heuristics ({!Heuristics}): LP-guided diving (the original
+     plunge), a feasibility pump, and RINS. They produce integral
      incumbents early, which best-first search alone can fail to do. *)
-  let plunge ?basis nlb nub =
-    let lb = Array.copy nlb and ub = Array.copy nub in
-    let budget = (2 * Array.length int_ids) + 20 in
-    (* each fixing step only tightens bounds, so the previous step's
-       optimal basis warm-starts the next LP *)
-    let warm = ref basis in
-    let lp_step () =
-      let r, fb = lp ?warm:!warm ~lb ~ub () in
-      (match fb with Some _ -> warm := fb | None -> ());
-      r
-    in
-    (* [go] consumes the LP result of the current bounds, so each fixing
-       costs exactly one LP solve: the result of re-solving after a fix
-       is threaded straight into the next recursion instead of being
-       discarded and recomputed. *)
-    let rec go iters res =
-      if iters > budget then None
-      else
-        match res with
-        | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iter_limit -> None
-        | Simplex.Optimal { obj; values } ->
-          let bound = osign *. obj in
-          if bound <= !incumbent_obj +. options.abs_gap then None
-          else begin
-            (* most fractional *)
-            let best = ref (-1) and best_frac = ref options.int_tol in
-            Array.iter
-              (fun id ->
-                let x = values.(id) in
-                let frac = Float.abs (x -. Float.round x) in
-                if frac > !best_frac then begin
-                  best := id;
-                  best_frac := frac
-                end)
-              int_ids;
-            if !best < 0 then Some (values, bound)
-            else begin
-              let id = !best in
-              let r = Float.round values.(id) in
-              let saved_lb = lb.(id) and saved_ub = ub.(id) in
-              lb.(id) <- r;
-              ub.(id) <- r;
-              match lp_step () with
-              | Simplex.Optimal _ as res' -> go (iters + 1) res'
-              | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iter_limit ->
-                (* flip once *)
-                let r' = if r > values.(id) then Float.floor values.(id) else Float.ceil values.(id) in
-                if r' >= saved_lb -. 1e-9 && r' <= saved_ub +. 1e-9 && r' <> r then begin
-                  lb.(id) <- r';
-                  ub.(id) <- r';
-                  go (iters + 1) (lp_step ())
-                end
-                else None
-            end
-          end
-    in
-    go 0 (lp_step ())
+  let heur_env =
+    {
+      Heuristics.lp = (fun warm ~lb ~ub -> lp ?warm ~lb ~ub ());
+      int_ids;
+      int_tol = options.int_tol;
+      abs_gap = options.abs_gap;
+      osign;
+      cutoff = (fun () -> !incumbent_obj);
+    }
   in
-  let try_plunge ?basis nlb nub =
-    match plunge ?basis nlb nub with
-    | Some (values, obj) ->
-      (match Model.check_feasible ~tol:(10. *. options.int_tol) model values with
-      | None -> consider_incumbent values obj
-      | Some _ -> ())
+  (* Unified incumbent gate: every heuristic candidate is re-checked
+     against the original model at [options.int_tol] — the same
+     tolerance the warm-start path uses and the certifier enforces — so
+     no admitted incumbent can later be certify-rejected. A candidate
+     failing here is counted and dropped instead of silently pruning
+     the tree and failing certification afterwards. *)
+  let try_candidate ~what cand =
+    match cand with
     | None -> ()
+    | Some (values, obj) -> (
+      match Model.check_feasible ~tol:options.int_tol model values with
+      | None ->
+        Lp_stats.incr Lp_stats.heuristic_solutions;
+        (match options.on_incumbent with Some f -> f values | None -> ());
+        consider_incumbent values obj
+      | Some reason ->
+        Lp_stats.incr Lp_stats.heuristic_rejections;
+        if options.log then
+          Log.warn (fun f ->
+              f "%s incumbent rejected at node %d: %s" what !nodes reason))
   in
   let find_fractional values =
     (* most fractional among the highest branch priority class *)
@@ -367,10 +469,15 @@ let solve ?(options = default) model =
   List.iter
     (fun hint ->
       let lb = Array.copy lb0 and ub = Array.copy ub0 in
+      (* hint values must sit inside the root bounds to within the
+         solver's configured integrality tolerance — the same epsilon
+         the incumbent gate enforces, not an unrelated hardcoded one *)
       let ok =
         List.for_all
           (fun (id, v) ->
-            id >= 0 && id < nv && v >= lb.(id) -. 1e-9 && v <= ub.(id) +. 1e-9)
+            id >= 0 && id < nv
+            && v >= lb.(id) -. options.int_tol
+            && v <= ub.(id) +. options.int_tol)
           hint
       in
       if ok then begin
@@ -379,13 +486,106 @@ let solve ?(options = default) model =
             lb.(id) <- v;
             ub.(id) <- v)
           hint;
-        try_plunge lb ub
+        try_candidate ~what:"hint dive" (Heuristics.dive heur_env lb ub)
       end)
     options.plunge_hints;
+  (* Reliability branching, owner-side: strong-branching probes
+     initialize the pseudocosts of unreliable candidates (most
+     fractional first, a bounded number per node), then the product
+     rule scores every candidate. Probes are ordinary dual-warm LP
+     solves against the current prepared LP, so their iterations land
+     in the owner's deterministic meter. *)
+  let reliability_branch ~nlb ~nub ~fbasis ~bound values =
+    let cands =
+      branch_candidates ~int_tol:options.int_tol
+        ~priority:options.branch_priority int_ids values
+    in
+    if Array.length cands = 0 then None
+    else begin
+      let gains = Array.make (Array.length cands) (nan, nan) in
+      let frac id = Float.abs (values.(id) -. Float.round values.(id)) in
+      let order = Array.init (Array.length cands) Fun.id in
+      Array.sort
+        (fun a b ->
+          let fa = frac cands.(a) and fb = frac cands.(b) in
+          if fa = fb then compare cands.(a) cands.(b) else compare fb fa)
+        order;
+      let probed = ref 0 in
+      Array.iter
+        (fun k ->
+          let id = cands.(k) in
+          let pos = ipos.(id) in
+          if !probed < pc_probe_cap && pc_reliability pc pos < pc_rel_threshold
+          then begin
+            incr probed;
+            let x = values.(id) in
+            let probe up =
+              Lp_stats.incr Lp_stats.sb_probes;
+              let lb = Array.copy nlb and ub = Array.copy nub in
+              if up then lb.(id) <- Float.ceil x else ub.(id) <- Float.floor x;
+              match lp ?warm:fbasis ~lb ~ub () with
+              | Simplex.Optimal { obj; _ }, _ ->
+                let g = Float.max 0. (bound -. (osign *. obj)) in
+                let f =
+                  Float.max options.int_tol
+                    (if up then Float.ceil x -. x else x -. Float.floor x)
+                in
+                pc_update pc pos ~up (g /. f);
+                Lp_stats.incr Lp_stats.pseudocost_updates;
+                g
+              | Simplex.Infeasible, _ -> infinity
+              | (Simplex.Unbounded | Simplex.Iter_limit), _ -> nan
+            in
+            let gd = probe false in
+            let gu = probe true in
+            gains.(k) <- (gd, gu)
+          end)
+        order;
+      (* hand the selected variable's probe gains back to the caller:
+         they are valid child LP bounds, so branching can push the
+         children under probe-tightened keys (or skip a probe-proven
+         infeasible child outright) *)
+      match pc_select pc ~ipos ~gains cands values with
+      | None -> None
+      | Some id ->
+        let sel = ref (nan, nan) in
+        Array.iteri (fun k c -> if c = id then sel := gains.(k)) cands;
+        let gd, gu = !sel in
+        Some (id, gd, gu)
+    end
+  in
+  (* Heuristic schedule, owner-side: dive at the root, periodically
+     until an incumbent exists and occasionally after (the original
+     plunge cadence); the feasibility pump backs the dive up while no
+     incumbent exists; RINS explores the incumbent/relaxation
+     neighborhood every [rins_freq] nodes. *)
+  let run_heuristics ~fbasis ~values ~nlb ~nub =
+    let dive_now =
+      !nodes = 1
+      || (!incumbent = None && !nodes mod 40 = 0)
+      || !nodes mod 400 = 0
+    in
+    if dive_now then begin
+      try_candidate ~what:"dive" (Heuristics.dive heur_env ?basis:fbasis nlb nub);
+      if options.heuristics && !incumbent = None then
+        try_candidate ~what:"pump"
+          (Heuristics.pump heur_env ?basis:fbasis ~relax:values nlb nub)
+    end;
+    if
+      options.heuristics && options.rins_freq > 0 && !nodes > 1
+      && !nodes mod options.rins_freq = 0
+    then
+      match !incumbent with
+      | Some inc ->
+        try_candidate ~what:"rins"
+          (Heuristics.rins heur_env ?basis:fbasis ~incumbent:inc ~relax:values
+             nlb nub)
+      | None -> ()
+  in
   let heap = Heap.create () in
   let root =
     { nlb = lb0; nub = ub0; depth = 0; parent_bound = infinity; pbasis = None;
-      pgen = 0 }
+      pgen = 0; bvar = -1; bup = false; bfrac = 0. }
   in
   Heap.push heap { key = infinity; depth = 0; node = root };
   let status = ref `Running in
@@ -431,6 +631,14 @@ let solve ?(options = default) model =
           if node.depth = 0 && !incumbent = None then status := `Unbounded_root
           else ()
         | Simplex.Optimal { obj; values }, fbasis ->
+          (* pseudocost observation: this node's raw LP measures the
+             true bound degradation of the parent's branching decision *)
+          if reliability && node.bvar >= 0 then begin
+            let g = Float.max 0. (node.parent_bound -. (osign *. obj)) in
+            pc_update pc ipos.(node.bvar) ~up:node.bup
+              (g /. Float.max node.bfrac options.int_tol);
+            Lp_stats.incr Lp_stats.pseudocost_updates
+          end;
           if osign *. obj <= !incumbent_obj +. options.abs_gap then ()
             (* pruned *)
           else begin
@@ -509,19 +717,28 @@ let solve ?(options = default) model =
               let bound = osign *. obj in
               if bound <= !incumbent_obj +. options.abs_gap then () (* pruned *)
               else begin
-                let branch_on id =
+                let branch_on id gd gu =
                   let x = values.(id) in
                   let fl = Float.floor x and ce = Float.ceil x in
                   let mk which =
                     let nlb = Array.copy node.nlb
                     and nub = Array.copy node.nub in
+                    let up = which = `Up in
                     (match which with
                     | `Down -> nub.(id) <- fl
                     | `Up -> nlb.(id) <- ce);
-                    if nlb.(id) <= nub.(id) +. 1e-12 then
+                    (* a strong-branching probe of this child already
+                       solved its LP: its measured bound is the child's
+                       true key, so push under it — best-first then never
+                       pops the child once the gap closes over it — and an
+                       infinite gain (probe-infeasible child) skips the
+                       push entirely *)
+                    let g = if up then gu else gd in
+                    let key = if Float.is_nan g then bound else bound -. g in
+                    if nlb.(id) <= nub.(id) +. 1e-12 && key > neg_infinity then
                       Heap.push heap
                         {
-                          key = bound;
+                          key;
                           depth = node.depth + 1;
                           node =
                             {
@@ -531,6 +748,9 @@ let solve ?(options = default) model =
                               parent_bound = bound;
                               pbasis = fbasis;
                               pgen = !gen;
+                              bvar = id;
+                              bup = up;
+                              bfrac = (if up then ce -. x else x -. fl);
                             };
                         }
                   in
@@ -539,18 +759,20 @@ let solve ?(options = default) model =
                   if x -. fl > 0.5 then (mk `Down; mk `Up)
                   else (mk `Up; mk `Down)
                 in
-                match find_fractional values with
+                let pick =
+                  if reliability then
+                    reliability_branch ~nlb:node.nlb ~nub:node.nub ~fbasis
+                      ~bound values
+                  else
+                    Option.map (fun id -> (id, nan, nan))
+                      (find_fractional values)
+                in
+                match pick with
                 | None -> consider_incumbent values bound
-                | Some id ->
-                  (* dive for an incumbent at the root and periodically
-                     until one exists, then keep branching *)
-                  if
-                    !nodes = 1
-                    || (!incumbent = None && !nodes mod 40 = 0)
-                    || !nodes mod 400 = 0
-                  then try_plunge ?basis:fbasis node.nlb node.nub;
+                | Some (id, gd, gu) ->
+                  run_heuristics ~fbasis ~values ~nlb:node.nlb ~nub:node.nub;
                   if bound > !incumbent_obj +. options.abs_gap then
-                    branch_on id
+                    branch_on id gd gu
               end
           end
       end
@@ -619,6 +841,14 @@ let solve ?(options = default) model =
           let total = Domain.DLS.get nodes_key in
           let lheap = Heap.create () in
           Heap.push lheap elt;
+          (* Pseudocost state is frozen for the round like the cut pool:
+             each task branches on a private copy of the table extended
+             by its own observations only, and hands the observation log
+             back for a deterministic frontier-order merge. The master
+             table is read-only until the barrier, so the copies are
+             identical whether tasks run inline or on any pool width. *)
+          let lpc = if reliability then pc_copy pc else pc in
+          let tpc = ref [] in
           let tn = ref 0 and tdropped = ref 0 and tdropped_key = ref neg_infinity in
           let lbest = ref inc0_obj and lhave = ref inc0_exists in
           let left = ref [] in
@@ -662,10 +892,28 @@ let solve ?(options = default) model =
                   incr tdropped;
                   if key > !tdropped_key then tdropped_key := key
                 | Simplex.Optimal { obj; values }, fbasis ->
+                  if reliability && node.bvar >= 0 then begin
+                    let g = Float.max 0. (node.parent_bound -. (osign *. obj)) in
+                    let gpf = g /. Float.max node.bfrac options.int_tol in
+                    pc_update lpc ipos.(node.bvar) ~up:node.bup gpf;
+                    Lp_stats.incr Lp_stats.pseudocost_updates;
+                    tpc := (ipos.(node.bvar), node.bup, gpf) :: !tpc
+                  end;
                   let bound = osign *. obj in
                   if bound <= !lbest +. options.abs_gap then () (* pruned *)
                   else begin
-                    match find_fractional values with
+                    (* pure pseudocost selection in-task: no probes (the
+                       frozen LP would make them owner-state-dependent),
+                       same deterministic product rule *)
+                    let pick =
+                      if reliability then
+                        pc_select lpc ~ipos
+                          (branch_candidates ~int_tol:options.int_tol
+                             ~priority:options.branch_priority int_ids values)
+                          values
+                      else find_fractional values
+                    in
+                    match pick with
                     | None ->
                       if bound > !lbest then begin
                         lbest := bound;
@@ -678,6 +926,7 @@ let solve ?(options = default) model =
                       let fl = Float.floor x and ce = Float.ceil x in
                       let mk which =
                         let nlb = Array.copy node.nlb and nub = Array.copy node.nub in
+                        let up = which = `Up in
                         (match which with
                         | `Down -> nub.(id) <- fl
                         | `Up -> nlb.(id) <- ce);
@@ -694,6 +943,9 @@ let solve ?(options = default) model =
                                   parent_bound = bound;
                                   pbasis = fbasis;
                                   pgen = gen0;
+                                  bvar = id;
+                                  bup = up;
+                                  bfrac = (if up then ce -. x else x -. fl);
                                 };
                             }
                       in
@@ -712,6 +964,7 @@ let solve ?(options = default) model =
             tr_dropped = !tdropped;
             tr_dropped_key = !tdropped_key;
             tr_left = !left @ drain [];
+            tr_pc = List.rev !tpc;
           }
         in
         let results =
@@ -729,6 +982,9 @@ let solve ?(options = default) model =
             dropped := !dropped + tr.tr_dropped;
             if tr.tr_dropped_key > !dropped_bound then
               dropped_bound := tr.tr_dropped_key;
+            (* merge pseudocost observations in frontier index order —
+               the counter was already bumped at generation time *)
+            List.iter (fun (pos, up, g) -> pc_update pc pos ~up g) tr.tr_pc;
             List.iter (fun e -> Heap.push heap e) tr.tr_left)
           results;
         (* adopt the round's merged incumbent last: the cut audit inside

@@ -6,6 +6,20 @@
     return its best incumbent together with the remaining bound — this is
     the "timeout" behaviour §6 of the paper relies on. *)
 
+(** Branching-variable selection rule. *)
+type branching =
+  | Reliability
+      (** Pseudocost branching with strong-branching initialization:
+          per-variable up/down degradation estimates, seeded by dual
+          warm-started probes of both children until a variable has
+          enough observations to be reliable, then maintained from every
+          child LP solved in the tree. Ties break on (score, lowest id),
+          so the selection is deterministic and bit-identical across
+          pool widths. Default. *)
+  | Fractional
+      (** Legacy most-fractional rule: branch on the variable whose LP
+          value is furthest from an integer. *)
+
 type options = {
   max_nodes : int;  (** node budget; default 200_000 *)
   time_limit : float;  (** wall-clock seconds; default [infinity] *)
@@ -56,6 +70,25 @@ type options = {
       (** Per-task node budget within one round: each frontier subtree
           explores at most this many nodes before handing its open
           nodes back at the barrier. Default 64. *)
+  branching : branching;
+      (** Branching-variable selection rule; default {!Reliability}.
+          [Fractional] restores the pre-pseudocost search exactly (no
+          probes, no pseudocost bookkeeping). *)
+  heuristics : bool;
+      (** Enable the feasibility pump and RINS ({!Heuristics});
+          default [true]. [false] keeps only the legacy diving cadence.
+          Every heuristic candidate is re-checked against the model at
+          [int_tol] — the same tolerance {!Certify} enforces — before it
+          can become the incumbent, so heuristics can never admit an
+          incumbent the certifier would reject. *)
+  rins_freq : int;
+      (** Run RINS every this many nodes once an incumbent exists;
+          [<= 0] disables RINS. Default 200. *)
+  on_incumbent : (float array -> unit) option;
+      (** Called with each accepted incumbent point (after the
+          feasibility re-check, before cut audit); default [None].
+          Exposed for tests that assert properties of every incumbent
+          the search admits. *)
 }
 
 val default : options
@@ -76,6 +109,24 @@ val cumulative_nodes : unit -> int
     and after a solve on the calling domain gives that solve's round
     count whatever pool (if any) ran the subtree tasks. *)
 val cumulative_rounds : unit -> int
+
+(** Domain-local cumulative strong-branching probes (child LPs solved
+    purely to initialize pseudocosts), pool-hook shaped like
+    {!cumulative_nodes}. *)
+val cumulative_sb_probes : unit -> int
+
+(** Domain-local cumulative pseudocost observations folded into the
+    table — probe gains plus per-child-LP gains, counted once at
+    generation (parallel-round merges do not re-count). *)
+val cumulative_pseudocost_updates : unit -> int
+
+(** Domain-local cumulative incumbents produced by primal heuristics
+    (diving, pump, RINS) and accepted by the [int_tol] re-check. *)
+val cumulative_heuristic_solutions : unit -> int
+
+(** Domain-local cumulative heuristic candidates rejected by the
+    [int_tol] re-check before reaching the incumbent path. *)
+val cumulative_heuristic_rejections : unit -> int
 
 type outcome =
   | Optimal  (** incumbent proven optimal within the gap *)

@@ -1,0 +1,169 @@
+type env = {
+  lp :
+    Simplex.basis option ->
+    lb:float array ->
+    ub:float array ->
+    Simplex.result * Simplex.basis option;
+  int_ids : int array;
+  int_tol : float;
+  abs_gap : float;
+  osign : float;
+  cutoff : unit -> float;
+}
+
+(* LP-guided diving: from the LP optimum under [lb, ub], repeatedly fix
+   the most fractional integer variable to its rounded value and
+   re-solve. One flip retry per variable on infeasibility. Each fixing
+   only tightens bounds, so the previous step's optimal basis
+   warm-starts the next LP in the dual simplex. *)
+let dive env ?basis lb ub =
+  let lb = Array.copy lb and ub = Array.copy ub in
+  let budget = (2 * Array.length env.int_ids) + 20 in
+  let warm = ref basis in
+  let lp_step () =
+    let r, fb = env.lp !warm ~lb ~ub in
+    (match fb with Some _ -> warm := fb | None -> ());
+    r
+  in
+  (* [go] consumes the LP result of the current bounds, so each fixing
+     costs exactly one LP solve: the result of re-solving after a fix
+     is threaded straight into the next recursion instead of being
+     discarded and recomputed. *)
+  let rec go iters res =
+    if iters > budget then None
+    else
+      match res with
+      | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iter_limit -> None
+      | Simplex.Optimal { obj; values } ->
+        let bound = env.osign *. obj in
+        if bound <= env.cutoff () +. env.abs_gap then None
+        else begin
+          (* most fractional *)
+          let best = ref (-1) and best_frac = ref env.int_tol in
+          Array.iter
+            (fun id ->
+              let x = values.(id) in
+              let frac = Float.abs (x -. Float.round x) in
+              if frac > !best_frac then begin
+                best := id;
+                best_frac := frac
+              end)
+            env.int_ids;
+          if !best < 0 then Some (values, bound)
+          else begin
+            let id = !best in
+            let r = Float.round values.(id) in
+            let saved_lb = lb.(id) and saved_ub = ub.(id) in
+            lb.(id) <- r;
+            ub.(id) <- r;
+            match lp_step () with
+            | Simplex.Optimal _ as res' -> go (iters + 1) res'
+            | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iter_limit ->
+              (* flip once; the bounds-compatibility epsilon is the
+                 solver's integrality tolerance, not an unrelated
+                 hardcoded one *)
+              let r' =
+                if r > values.(id) then Float.floor values.(id)
+                else Float.ceil values.(id)
+              in
+              if
+                r' >= saved_lb -. env.int_tol
+                && r' <= saved_ub +. env.int_tol
+                && r' <> r
+              then begin
+                lb.(id) <- r';
+                ub.(id) <- r';
+                go (iters + 1) (lp_step ())
+              end
+              else None
+          end
+        end
+  in
+  go 0 (lp_step ())
+
+(* Feasibility pump over roundings. Fix every integer variable to the
+   rounding of the relaxation point (clamped into its bounds) and solve
+   the LP: the continuous variables repair themselves and the point is
+   integral by construction. When the fixing is infeasible, flip the
+   most ambiguous rounding (fractional part closest to 1/2) that has
+   not been flipped yet and retry — flips are cumulative, so the pump
+   cannot cycle, and the candidate order is deterministic. *)
+let pump env ?basis ~relax lb ub =
+  let nint = Array.length env.int_ids in
+  if nint = 0 then None
+  else begin
+    let flb = Array.copy lb and fub = Array.copy ub in
+    let clamp id v = Float.min ub.(id) (Float.max lb.(id) v) in
+    let target = Array.map (fun id -> clamp id (Float.round relax.(id))) env.int_ids in
+    (* flip candidates: fractional roundings, most ambiguous first *)
+    let flips =
+      env.int_ids
+      |> Array.to_list
+      |> List.mapi (fun k id ->
+             let frac = Float.abs (relax.(id) -. Float.round relax.(id)) in
+             (k, id, frac))
+      |> List.filter (fun (_, _, frac) -> frac > env.int_tol)
+      |> List.sort (fun (k1, id1, f1) (k2, id2, f2) ->
+             let a1 = Float.abs (f1 -. 0.5) and a2 = Float.abs (f2 -. 0.5) in
+             if a1 = a2 then compare (id1, k1) (id2, k2) else compare a1 a2)
+    in
+    let warm = ref basis in
+    let solve_fixed () =
+      Array.iteri (fun k id ->
+          flb.(id) <- target.(k);
+          fub.(id) <- target.(k))
+        env.int_ids;
+      let r, fb = env.lp !warm ~lb:flb ~ub:fub in
+      (match fb with Some _ -> warm := fb | None -> ());
+      r
+    in
+    let rec go flips =
+      match solve_fixed () with
+      | Simplex.Optimal { obj; values } ->
+        let bound = env.osign *. obj in
+        if bound > env.cutoff () +. env.abs_gap then Some (values, bound)
+        else None
+      | Simplex.Unbounded | Simplex.Iter_limit -> None
+      | Simplex.Infeasible -> (
+        match flips with
+        | [] -> None
+        | (k, id, _) :: rest ->
+          (* flip: round the other way, staying inside the bounds *)
+          let x = relax.(id) in
+          let other =
+            if target.(k) >= x then Float.floor x else Float.ceil x
+          in
+          if other >= lb.(id) -. env.int_tol && other <= ub.(id) +. env.int_tol
+          then target.(k) <- clamp id other;
+          go rest)
+    in
+    go flips
+  end
+
+(* RINS: fix the integer variables where the incumbent and the node
+   relaxation agree on the same integer value, then dive the free
+   neighborhood. Skips (without any LP work) when the neighborhood is
+   empty or when nothing was fixed — the dive would then just repeat
+   the node's ordinary plunge. *)
+let rins env ?basis ~incumbent ~relax lb ub =
+  let nint = Array.length env.int_ids in
+  if nint = 0 then None
+  else begin
+    let rlb = Array.copy lb and rub = Array.copy ub in
+    let fixed = ref 0 and free = ref 0 in
+    Array.iter
+      (fun id ->
+        let inc = Float.round incumbent.(id) in
+        if
+          Float.abs (Float.round relax.(id) -. inc) <= env.int_tol
+          && inc >= lb.(id) -. env.int_tol
+          && inc <= ub.(id) +. env.int_tol
+        then begin
+          rlb.(id) <- inc;
+          rub.(id) <- inc;
+          incr fixed
+        end
+        else incr free)
+      env.int_ids;
+    if !fixed = 0 || !free = 0 then None else dive env ?basis rlb rub
+  end

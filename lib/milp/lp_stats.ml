@@ -23,13 +23,18 @@ let cut_audit_failures = key ()
 let batch_prepares = key ()
 let batch_overlays = key ()
 let batch_warm_hits = key ()
+let sb_probes = key ()
+let pseudocost_updates = key ()
+let heuristic_solutions = key ()
+let heuristic_rejections = key ()
 
 let int_keys =
   [
     pivots; dual_pivots; factorizations; eta_updates; warm_attempts;
     warm_hits; certify_checks; certify_failures; cuts_generated;
     cuts_applied; cuts_pruned; cut_audit_failures; batch_prepares;
-    batch_overlays; batch_warm_hits;
+    batch_overlays; batch_warm_hits; sb_probes; pseudocost_updates;
+    heuristic_solutions; heuristic_rejections;
   ]
 
 let incr k = incr (Domain.DLS.get k)

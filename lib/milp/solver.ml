@@ -20,6 +20,9 @@ type options = {
   pool : Parallel.Pool.t option;
   bb_width : int;
   bb_grain : int;
+  branching : Branch_bound.branching;
+  heuristics : bool;
+  rins_freq : int;
 }
 
 (* The values shared with branch-and-bound are derived from
@@ -44,6 +47,9 @@ let default_options =
     pool = d.Branch_bound.pool;
     bb_width = d.Branch_bound.par_width;
     bb_grain = d.Branch_bound.par_grain;
+    branching = d.Branch_bound.branching;
+    heuristics = d.Branch_bound.heuristics;
+    rins_freq = d.Branch_bound.rins_freq;
   }
 
 let engine_of options =
@@ -115,6 +121,10 @@ let solve_direct ~options ~t0 model =
           | p -> p);
         par_width = options.bb_width;
         par_grain = options.bb_grain;
+        branching = options.branching;
+        heuristics = options.heuristics;
+        rins_freq = options.rins_freq;
+        on_incumbent = None;
       }
     in
     let r = Branch_bound.solve ~options:bb_options model in
@@ -240,4 +250,8 @@ let stats_counters =
     ("batch-prepares", Batch.cumulative_prepares);
     ("batch-overlays", Batch.cumulative_overlays);
     ("batch-warm-hits", Batch.cumulative_warm_hits);
+    ("sb-probes", Branch_bound.cumulative_sb_probes);
+    ("pseudocost-updates", Branch_bound.cumulative_pseudocost_updates);
+    ("heuristic-solutions", Branch_bound.cumulative_heuristic_solutions);
+    ("heuristic-rejections", Branch_bound.cumulative_heuristic_rejections);
   ]

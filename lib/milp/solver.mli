@@ -58,6 +58,17 @@ type options = {
   bb_grain : int;
       (** per-subtree node budget within a round; see
           {!Branch_bound.options.par_grain}. *)
+  branching : Branch_bound.branching;
+      (** branching-variable selection rule (default
+          {!Branch_bound.Reliability}; [--branching=fractional] at the
+          CLI restores the legacy most-fractional rule exactly) *)
+  heuristics : bool;
+      (** enable the feasibility pump and RINS primal heuristics
+          (default [true]; [--no-heuristics] at the CLI keeps only the
+          legacy diving cadence); see {!Branch_bound.options.heuristics} *)
+  rins_freq : int;
+      (** RINS cadence in nodes once an incumbent exists; [<= 0]
+          disables RINS (default 200, [--rins-freq] at the CLI) *)
 }
 
 (** Defaults shared with branch-and-bound are derived from

@@ -14,6 +14,9 @@ type options = {
   sx_iters : int option;
   bb_width : int;
   bb_grain : int;
+  branching : Milp.Branch_bound.branching;
+  heuristics : bool;
+  rins_freq : int;
 }
 
 let default_options =
@@ -33,6 +36,9 @@ let default_options =
     sx_iters = None;
     bb_width = Milp.Solver.default_options.Milp.Solver.bb_width;
     bb_grain = Milp.Solver.default_options.Milp.Solver.bb_grain;
+    branching = Milp.Solver.default_options.Milp.Solver.branching;
+    heuristics = Milp.Solver.default_options.Milp.Solver.heuristics;
+    rins_freq = Milp.Solver.default_options.Milp.Solver.rins_freq;
   }
 
 let with_timeout t = { default_options with time_limit = t }
@@ -203,6 +209,9 @@ let analyze_with ?screen ?(extra_cuts = []) ?pool ~options topo paths envelope =
       pool;
       bb_width = options.bb_width;
       bb_grain = options.bb_grain;
+      branching = options.branching;
+      heuristics = options.heuristics;
+      rins_freq = options.rins_freq;
     }
   in
   let sol = Milp.Solver.solve ~options:solver_options built.Bilevel.model in

@@ -71,6 +71,16 @@ type options = {
   bb_grain : int;
       (** per-subtree node budget within one parallel round
           ({!Milp.Solver.options.bb_grain}); default 64. *)
+  branching : Milp.Branch_bound.branching;
+      (** branching-variable rule for the bilevel MILP
+          ({!Milp.Solver.options.branching}); default
+          {!Milp.Branch_bound.Reliability}. *)
+  heuristics : bool;
+      (** enable the feasibility-pump and RINS primal heuristics
+          ({!Milp.Solver.options.heuristics}); default [true]. *)
+  rins_freq : int;
+      (** RINS cadence in branch-and-bound nodes; [<= 0] disables
+          ({!Milp.Solver.options.rins_freq}); default 200. *)
 }
 
 val default_options : options

@@ -25,6 +25,10 @@ let solve_corpus ?sx_iters pool =
           par_width = 2;
           par_grain = 4;
           sx_iters;
+          (* explicit, not just the default: the bit-identity contract
+             must hold with the pseudocost machinery (frozen per-round
+             tables, frontier-order merge) engaged *)
+          branching = Milp.Branch_bound.Reliability;
         }
       in
       Milp.Branch_bound.solve ~options mdl)

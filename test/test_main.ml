@@ -18,5 +18,6 @@ let () =
       ("certify", Test_certify.suite);
       ("parallel", Test_parallel.suite);
       ("bb parallel", Test_bb_parallel.suite);
+      ("branching", Test_branching.suite);
       ("service", Test_service.suite);
     ]
