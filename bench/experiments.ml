@@ -1179,6 +1179,7 @@ let service_bench ctx =
       envelope;
       options = { (options ctx sp) with Raha.Analysis.domains };
       drift_tol = 0.30;
+      alert_tolerance = 0.1;
     }
   in
   (* recorded stream: exponential outage traces on the first 6 lags,
@@ -1301,6 +1302,140 @@ let service_bench ctx =
   row
     "(the cold arm reconstructs state and solves from scratch per query;      the service invalidation policy re-solves only on estimate drift,      support hits or structural change — warm re-solves reuse the      persisted cut pool and the screening engine's basis overlays)@."
 
+(* --------------------------------------------------------------- alerting *)
+
+(* Push alerting pipeline (DESIGN.md §16): subscribers with distinct
+   tolerance overrides ride the event loop; each accepted structural
+   event triggers the two-stage Raha.Alert evaluation — a
+   quarter-budget fixed-envelope fast screen immediately, the full
+   worst-case solve lazily and at most once, shared with the query
+   cache. The stream alternates capacity-degrade waves (heavy demand
+   envelope + a lag shaved to 1 unit) with relief waves (envelope
+   squeezed to ~0), so every sensitive subscriber crosses into alert
+   and back out repeatedly. Push lines drain through the same bounded
+   queues the socket server uses — the [counters:] line carries only
+   deterministic quantities and must show dropped=0. *)
+let alerting_bench ctx =
+  section ctx ~id:"alerting"
+    ~paper:"push alerting: two-stage crossing notifications on the live event stream (DESIGN.md §16)"
+    ~config:"africa-like WAN (8 nodes), degrade/relief waves, 3 subscribers (tol 0 / 0.05 / default 0.1)";
+  let topo, pairs = wan_small () in
+  let paths = paths_of topo pairs in
+  let envelope = Traffic.Envelope.around ~slack:0.3 (base_demand pairs) in
+  let sp = spec ~max_failures:1 () in
+  let cfg =
+    { Service.Core.paths; envelope; options = options ctx sp;
+      drift_tol = 0.30; alert_tolerance = 0.1 }
+  in
+  let core = Service.Core.create cfg topo in
+  let al = Service.Core.alerting core in
+  (* all three tolerances are crossable, so once every subscriber is
+     alerting and the fast stage still exceeds, the deep solve is
+     skipped entirely — the bench shows both all-fast and deep-needed
+     evaluations *)
+  Service.Alerting.subscribe al ~id:1 ~tolerance:(Some 0.);
+  Service.Alerting.subscribe al ~id:2 ~tolerance:(Some 0.05);
+  Service.Alerting.subscribe al ~id:3 ~tolerance:None;
+  let pushes = ref 0 and bad_push = ref 0 in
+  let drain () =
+    List.iter
+      (fun id ->
+        let rec go () =
+          match Service.Alerting.next_chunk al ~id with
+          | None -> ()
+          | Some (line, off) ->
+            Service.Alerting.advance al ~id (String.length line - off);
+            incr pushes;
+            (match Service.Json.of_string (String.trim line) with
+            | Ok j
+              when Service.Json.to_str (Service.Json.member "push" j) <> None ->
+              ()
+            | _ -> incr bad_push);
+            go ()
+        in
+        go ())
+      (Service.Alerting.pending_ids al)
+  in
+  let module Ev = Service.Event in
+  let nlags = Wan.Topology.num_lags topo in
+  let waves = if ctx.quick then 2 else 6 in
+  let events = ref [] in
+  for w = 1 to waves do
+    let t0 = 10. *. float_of_int w in
+    (* degrade: demand back to the heavy envelope, then shave a lag *)
+    List.iteri
+      (fun i (src, dst) ->
+        events :=
+          Ev.Demand
+            { src; dst; lo = 42.; hi = 300.; at = t0 +. (0.1 *. float_of_int i) }
+          :: !events)
+      pairs;
+    events :=
+      Ev.Capacity { lag = (w - 1) mod nlags; link = 0; capacity = 1.; at = t0 +. 1. }
+      :: !events;
+    (* relief: squeeze the envelope to (near) zero — nothing left to lose *)
+    List.iteri
+      (fun i (src, dst) ->
+        events :=
+          Ev.Demand
+            { src; dst; lo = 0.01; hi = 0.02;
+              at = t0 +. 2. +. (0.1 *. float_of_int i) }
+          :: !events)
+      pairs
+  done;
+  let events = List.rev !events in
+  let fast_t = ref 0. and fast_n = ref 0 in
+  let deep_t = ref 0. and deep_n = ref 0 in
+  List.iter
+    (fun e ->
+      let resp = Service.Core.handle core (Ev.Event e) in
+      (match Service.Json.to_bool (Service.Json.member "ok" resp) with
+      | Some true -> ()
+      | _ -> row "rejected event: %s@." (Service.Json.to_string resp));
+      let before = (Service.Alerting.stats al).Service.Alerting.deep_runs in
+      let t0 = Unix.gettimeofday () in
+      Service.Core.evaluate_alert ~flush:drain core;
+      let dt = Unix.gettimeofday () -. t0 in
+      drain ();
+      let after = (Service.Alerting.stats al).Service.Alerting.deep_runs in
+      if after > before then begin
+        deep_t := !deep_t +. dt;
+        incr deep_n
+      end
+      else begin
+        fast_t := !fast_t +. dt;
+        incr fast_n
+      end)
+    events;
+  (* final worst query: the alert pipeline shares the query cache, so
+     this should carry a passing certificate without a fresh cold solve *)
+  let final =
+    Service.Core.handle core (Ev.Query (Ev.Worst { budget = None; max_nodes = None }))
+  in
+  let cert =
+    match Service.Json.to_str (Service.Json.member "cert" final) with
+    | Some "ok" -> true
+    | _ -> false
+  in
+  let s = Service.Alerting.stats al in
+  let ms t n = 1000. *. t /. float_of_int (max 1 n) in
+  row "%-22s %-8s %-10s@." "stage mix" "evals" "ms/eval";
+  row "%-22s %-8d %-10.1f@." "fast only" !fast_n (ms !fast_t !fast_n);
+  row "%-22s %-8d %-10.1f@." "fast+deep" !deep_n (ms !deep_t !deep_n);
+  row
+    "%d structural events -> %d evaluations, %d alerts / %d clears across 3 subscribers (%d deep solves), %d push lines, %d dropped@."
+    (List.length events) s.Service.Alerting.evaluations s.Service.Alerting.alerts
+    s.Service.Alerting.clears s.Service.Alerting.deep_runs !pushes
+    s.Service.Alerting.dropped;
+  row
+    "counters: alerting | events=%d evaluations=%d alerts=%d clears=%d deep=%d dropped=%d pushes=%d badpush=%d cert=%s@."
+    (List.length events) s.Service.Alerting.evaluations s.Service.Alerting.alerts
+    s.Service.Alerting.clears s.Service.Alerting.deep_runs
+    s.Service.Alerting.dropped !pushes !bad_push
+    (if cert then "ok" else "FAIL");
+  row
+    "(the fast stage screens the envelope's high corner on a quarter of the      solve budget; the deep stage is the normal worst-case machinery and      shares its cache, so alert evaluations warm later queries and a quiet      network costs no MILP solves at all; dropped=0 must hold — nothing      here outruns the drain)@."
+
 (* -------------------------------------------------------------------- ffc *)
 
 let ffc ctx =
@@ -1366,5 +1501,6 @@ let all : (string * string * (ctx -> unit)) list =
     ("bb-parallel", "parallel branch-and-bound rounds, domains 1 vs N", bb_parallel);
     ("branching", "reliability branching + heuristics vs most-fractional", branching_bench);
     ("service", "always-on service vs cold-solve-per-query replay", service_bench);
+    ("alerting", "push alerting: crossings, deep-solve sharing, backpressure", alerting_bench);
     ("ffc", "FFC-protected network still degrades beyond k (§2.2)", ffc);
   ]

@@ -457,9 +457,10 @@ let alert_cmd =
 
 let socket_arg =
   Arg.(
-    required
-    & opt (some string) None
-    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+    value
+    & opt string Service.Server.default_socket
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path (shared default with the other side).")
 
 let serve_cmd =
   let drift_tol_arg =
@@ -469,7 +470,22 @@ let serve_cmd =
           ~doc:
             "Serve the cached worst-case answer while every per-link failure               probability estimate has drifted by at most D since it was               computed; above that, re-solve warm.")
   in
-  let run setup socket drift_tol =
+  let alert_tol_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "alert-tol" ] ~docv:"T"
+          ~doc:
+            "Push-alert threshold in normalized degradation units; a               subscriber may override it per connection.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"PATH"
+          ~doc:
+            "Durable event log: replay PATH through the ingest path on               startup (recovering estimators, topology and demand envelope),               then append every accepted event to it.")
+  in
+  let run setup socket drift_tol alert_tolerance journal =
     let core =
       Service.Core.create
         {
@@ -477,16 +493,33 @@ let serve_cmd =
           envelope = setup.envelope;
           options = setup.options;
           drift_tol;
+          alert_tolerance;
         }
         setup.topo
     in
+    (match journal with
+    | None -> ()
+    | Some path ->
+      let j, recovery = Service.Journal.open_ path in
+      (match recovery.Service.Journal.damage with
+      | Some reason ->
+        Printf.eprintf "journal %s: damaged tail discarded (%s)\n%!" path reason
+      | None -> ());
+      let accepted, rejected =
+        Service.Core.replay core recovery.Service.Journal.events
+      in
+      Printf.eprintf "journal %s: replayed %d event(s)%s\n%!" path accepted
+        (if rejected > 0 then Printf.sprintf ", rejected %d" rejected else "");
+      Service.Core.attach_journal core j);
     Service.Server.run ~socket core
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the always-on degradation service: ingest link telemetry events,               answer certified worst-case and \"now\" queries over a Unix socket.")
-    Term.(const run $ setup_term $ socket_arg $ drift_tol_arg)
+         "Run the always-on degradation service: ingest link telemetry events,               answer certified worst-case and \"now\" queries over a Unix socket,               and push alert/clear notifications to subscribers.")
+    Term.(
+      const run $ setup_term $ socket_arg $ drift_tol_arg $ alert_tol_arg
+      $ journal_arg)
 
 let query_cmd =
   let line_arg =

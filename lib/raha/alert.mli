@@ -21,6 +21,15 @@ type verdict = {
   deep : Analysis.report option;  (** [None] when the fast stage alerted *)
 }
 
+(** The pipeline's threshold test: normalized degradation beyond
+    [tolerance], on a solved ([Optimal]/[Feasible]) report only — an
+    [Unknown]/[Infeasible] answer never raises an alert by itself.
+    Exposed for the service's push pipeline ({!Service.Core}), which
+    applies it per-subscriber. *)
+val exceeds : Analysis.report -> tolerance:float -> bool
+
+val stage_name : stage -> string
+
 (** [run ~tolerance ~fast_budget ~deep_budget ~spec topo paths ~peak
     envelope] executes the pipeline. [tolerance] is in normalized
     degradation units (fractions of the average LAG capacity, §8.1). *)

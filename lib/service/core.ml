@@ -7,6 +7,7 @@ type config = {
   envelope : Traffic.Envelope.t;
   options : Raha.Analysis.options;
   drift_tol : float;
+  alert_tolerance : float;
 }
 
 (* The cached worst-case answer, plus everything the invalidation
@@ -14,6 +15,10 @@ type config = {
    structure generation, and the worst case's link support. *)
 type cached = {
   answer : (string * Json.t) list;  (* the result fields, sans freshness *)
+  report : Raha.Analysis.report;
+      (* the full solve report behind [answer] — the deep alert stage
+         re-reads it (normalized degradation, Report summary) without
+         re-deriving anything from the JSON *)
   support : (int * int) list;
   probs : float array;
   events_at : int;
@@ -28,6 +33,8 @@ type t = {
   cfg : config;
   state : State.t;
   cuts : Cutstore.t;
+  alerting : Alerting.t;
+  mutable journal : Journal.t option;
   mutable engine : (int * Te.Simulate.engine option) option;
       (* (structure generation it was prepared at, engine); [Some None]
          records that the healthy network cannot route the screening
@@ -41,8 +48,10 @@ type t = {
 let create cfg topo =
   {
     cfg;
-    state = State.create topo;
+    state = State.create ~envelope:cfg.envelope topo;
     cuts = Cutstore.create cfg.options.Raha.Analysis.cuts;
+    alerting = Alerting.create ~tolerance:cfg.alert_tolerance ();
+    journal = None;
     engine = None;
     cached = None;
     n_cached = 0;
@@ -51,6 +60,8 @@ let create cfg topo =
   }
 
 let tally t = (t.n_cached, t.n_warm, t.n_cold)
+let alerting t = t.alerting
+let attach_journal t j = t.journal <- Some j
 
 (* ------------------------------------------------------------------ *)
 (* Response plumbing                                                   *)
@@ -105,7 +116,7 @@ let engine_for t =
     let topo = State.current_topology t.state in
     let e =
       Raha.Analysis.screening_engine ~spec:t.cfg.options.Raha.Analysis.spec topo
-        t.cfg.paths t.cfg.envelope
+        t.cfg.paths (State.envelope t.state)
     in
     t.engine <- Some (sgen, e);
     e
@@ -122,6 +133,7 @@ let freshness ~provenance ~events_at t =
 
 let solve_worst t ~verdict ~budget ~max_nodes =
   let topo = State.current_topology t.state in
+  let envelope = State.envelope t.state in
   let spec = t.cfg.options.Raha.Analysis.spec in
   if verdict = Policy.Cold then begin
     (* structure moved: engine and persisted cuts are built over rows
@@ -131,7 +143,7 @@ let solve_worst t ~verdict ~budget ~max_nodes =
   end;
   let screen = engine_for t in
   let extra_cuts, cstats =
-    Cutstore.advise t.cuts spec topo t.cfg.paths t.cfg.envelope
+    Cutstore.advise t.cuts spec topo t.cfg.paths envelope
   in
   let options =
     {
@@ -147,8 +159,7 @@ let solve_worst t ~verdict ~budget ~max_nodes =
     }
   in
   let r =
-    Raha.Analysis.analyze ?screen ~extra_cuts ~options topo t.cfg.paths
-      t.cfg.envelope
+    Raha.Analysis.analyze ?screen ~extra_cuts ~options topo t.cfg.paths envelope
   in
   let support = Failure.Scenario.links r.Raha.Analysis.scenario in
   let answer =
@@ -170,6 +181,7 @@ let solve_worst t ~verdict ~budget ~max_nodes =
     Some
       {
         answer;
+        report = r;
         support;
         probs = State.estimates t.state;
         events_at = State.events_applied t.state;
@@ -178,7 +190,9 @@ let solve_worst t ~verdict ~budget ~max_nodes =
       };
   (answer, r.Raha.Analysis.elapsed, r.Raha.Analysis.certificate)
 
-let query_worst t ~budget ~max_nodes =
+(* The invalidation verdict a worst query (or a deep alert evaluation)
+   would act on right now. *)
+let worst_verdict t =
   let est = State.estimates t.state in
   let sgen = State.structure_generation t.state in
   let verdict =
@@ -195,13 +209,34 @@ let query_worst t ~budget ~max_nodes =
              (fun l -> List.mem l c.support)
              (State.live_down t.state))
   in
-  let verdict =
-    (* an unproven cached answer (budget starvation) is never re-served *)
-    match (verdict, t.cached) with
-    | Policy.Cached, Some c when not c.proved -> Policy.Warm
-    | v, _ -> v
-  in
+  (* an unproven cached answer (budget starvation) is never re-served *)
+  match (verdict, t.cached) with
+  | Policy.Cached, Some c when not c.proved -> Policy.Warm
+  | v, _ -> v
+
+(* Solve inside a counter scope, fold the cert verdict into the cached
+   answer, return the wire fields plus the scope report. *)
+let solve_scoped t ~verdict ~budget ~max_nodes =
   let certify_on = t.cfg.options.Raha.Analysis.certify in
+  let scope = Milp.Lp_stats.scope_enter ~hooks:Milp.Solver.stats_counters () in
+  let answer, elapsed, certificate = solve_worst t ~verdict ~budget ~max_nodes in
+  let report = Milp.Lp_stats.scope_exit scope in
+  let cert =
+    (* the MILP's own certificate is authoritative; overlay/cut audit
+       failures inside the scope also taint the verdict *)
+    match certificate with
+    | Some c when not c.Milp.Certify.ok -> "fail"
+    | Some _ | None -> cert_of_scope ~enabled:certify_on report
+  in
+  let answer = answer @ [ ("cert", Json.String cert) ] in
+  (* fold the verdict into the cache so later cached serves repeat it *)
+  (match t.cached with
+  | Some c -> t.cached <- Some { c with answer }
+  | None -> ());
+  (answer, elapsed, report)
+
+let query_worst t ~budget ~max_nodes =
+  let verdict = worst_verdict t in
   match (verdict, t.cached) with
   | Policy.Cached, Some c ->
     t.n_cached <- t.n_cached + 1;
@@ -212,26 +247,10 @@ let query_worst t ~budget ~max_nodes =
       @ freshness ~provenance:"cached" ~events_at:c.events_at t
       @ [ ("elapsed", Json.float 0.); ("counters", Json.Obj []) ])
   | _ ->
-    let scope = Milp.Lp_stats.scope_enter ~hooks:Milp.Solver.stats_counters () in
-    let answer, elapsed, certificate =
-      solve_worst t ~verdict ~budget ~max_nodes
-    in
-    let report = Milp.Lp_stats.scope_exit scope in
+    let answer, elapsed, report = solve_scoped t ~verdict ~budget ~max_nodes in
     (match verdict with
     | Policy.Warm -> t.n_warm <- t.n_warm + 1
     | Policy.Cached | Policy.Cold -> t.n_cold <- t.n_cold + 1);
-    let cert =
-      (* the MILP's own certificate is authoritative; overlay/cut audit
-         failures inside the scope also taint the verdict *)
-      match certificate with
-      | Some c when not c.Milp.Certify.ok -> "fail"
-      | Some _ | None -> cert_of_scope ~enabled:certify_on report
-    in
-    let answer = answer @ [ ("cert", Json.String cert) ] in
-    (* fold the verdict into the cache so later cached serves repeat it *)
-    (match t.cached with
-    | Some c -> t.cached <- Some { c with answer }
-    | None -> ());
     ok
       (answer
       @ freshness
@@ -339,6 +358,86 @@ let now_many t downs =
         | Ok (down, deg, prob) -> now_answer t ~down ~deg ~prob ~cert ~counters)
       results
 
+(* ------------------------------------------------------------------ *)
+(* Push alerting                                                       *)
+
+let stage_fields t (r : Raha.Analysis.report) =
+  [
+    ("status", Json.String (status_str r.Raha.Analysis.status));
+    ("degradation", Json.float r.Raha.Analysis.degradation);
+    ("normalized", Json.float r.Raha.Analysis.normalized);
+    ("scenario", scenario_json (Failure.Scenario.links r.Raha.Analysis.scenario));
+    ("scenario_prob", Json.float r.Raha.Analysis.scenario_prob);
+    ("events_applied", Json.Int (State.events_applied t.state));
+    ("clock", Json.float (State.clock t.state));
+  ]
+
+let stage_of_report t r =
+  {
+    Alerting.fields = stage_fields t r;
+    exceeds = (fun tol -> Raha.Alert.exceeds r ~tolerance:tol);
+    usable = true;
+  }
+
+let unusable_stage =
+  { Alerting.fields = []; exceeds = (fun _ -> false); usable = false }
+
+(* Fast stage (Raha.Alert stage 1): worst case at the demand fixed to
+   the envelope's upper corner — the observed peak — under a quarter of
+   the configured time budget. No screening engine or persisted cuts:
+   both are built over the variable envelope, not this fixed one. *)
+let alert_fast t =
+  let topo = State.current_topology t.state in
+  let peak = (State.envelope t.state).Traffic.Envelope.hi in
+  let options =
+    {
+      t.cfg.options with
+      Raha.Analysis.time_limit = t.cfg.options.Raha.Analysis.time_limit /. 4.;
+    }
+  in
+  Raha.Analysis.analyze ~options topo t.cfg.paths (Traffic.Envelope.fixed peak)
+
+(* Deep stage (stage 2): the worst query over the live envelope — same
+   invalidation policy, same cache: a Cached verdict re-reads the cached
+   report, and a deep solve conversely warms the cache for later worst
+   queries. Alert evaluations keep their own tallies
+   ({!Alerting.stats}), not the cached/warm/cold ones. *)
+let alert_deep t =
+  (match worst_verdict t with
+  | Policy.Cached -> ()
+  | verdict -> ignore (solve_scoped t ~verdict ~budget:None ~max_nodes:None));
+  match t.cached with
+  | Some c -> c.report
+  | None -> assert false (* solve_scoped always fills the cache *)
+
+let evaluate_alert ?(flush = fun () -> ()) t =
+  if Alerting.subscribers t.alerting > 0 then begin
+    let fast =
+      match alert_fast t with
+      | r -> stage_of_report t r
+      | exception e ->
+        Log.warn (fun f ->
+            f "alert fast stage failed: %s" (Printexc.to_string e));
+        unusable_stage
+    in
+    let deep () =
+      match alert_deep t with
+      | r ->
+        let s = stage_of_report t r in
+        {
+          s with
+          Alerting.fields =
+            s.Alerting.fields
+            @ [ ("report", Json.String (Raha.Report.summary_row r)) ];
+        }
+      | exception e ->
+        Log.warn (fun f ->
+            f "alert deep stage failed: %s" (Printexc.to_string e));
+        unusable_stage
+    in
+    Alerting.evaluate t.alerting ~fast ~deep ~flush
+  end
+
 let query_status t =
   let cached, warm, cold = tally t in
   ok
@@ -368,6 +467,17 @@ let query_status t =
             ("warm", Json.Int warm);
             ("cold", Json.Int cold);
           ] );
+      ( "alerting",
+        let s = Alerting.stats t.alerting in
+        Json.Obj
+          [
+            ("subscribers", Json.Int (Alerting.subscribers t.alerting));
+            ("evaluations", Json.Int s.Alerting.evaluations);
+            ("alerts", Json.Int s.Alerting.alerts);
+            ("clears", Json.Int s.Alerting.clears);
+            ("deep_runs", Json.Int s.Alerting.deep_runs);
+            ("dropped", Json.Int s.Alerting.dropped);
+          ] );
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -377,12 +487,22 @@ let handle t = function
   | Event.Event e -> (
     match State.apply t.state e with
     | Ok structural ->
+      (* durable before acknowledged: a crash after this append replays
+         the event on restart; a crash before it loses only an event the
+         client never saw accepted *)
+      (match t.journal with
+      | Some j -> Journal.append j ~structural e
+      | None -> ());
       ok
         [
           ("applied", Json.Int (State.events_applied t.state));
           ("structural", Json.Bool structural);
         ]
     | Error m -> err m)
+  | Event.Subscribe _ ->
+    (* Server intercepts subscribe (it owns the connection identity);
+       reaching Core means there is no connection to register *)
+    err "subscribe requires a socket connection"
   | Event.Query (Event.Worst { budget; max_nodes }) -> (
     try query_worst t ~budget ~max_nodes
     with e -> err (Printf.sprintf "solve failed: %s" (Printexc.to_string e)))
@@ -396,3 +516,18 @@ let handle_line t line =
   match Event.request_of_line line with
   | Error m -> err m
   | Ok req -> handle t req
+
+(* Journal recovery: fold the recovered events through the same ingest
+   path live events take (State.apply), without re-journaling them —
+   the journal is attached after replay, so the log is not rewritten. *)
+let replay t events =
+  let accepted = ref 0 and rejected = ref 0 in
+  List.iter
+    (fun e ->
+      match State.apply t.state e with
+      | Ok _ -> incr accepted
+      | Error m ->
+        incr rejected;
+        Log.warn (fun f -> f "replay: rejected event: %s" m))
+    events;
+  (!accepted, !rejected)

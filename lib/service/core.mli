@@ -23,11 +23,16 @@
 type config = {
   paths : Netpath.Path_set.t;
   envelope : Traffic.Envelope.t;
+      (** the {e configured} demand envelope; {!Event.Demand} events
+          re-forecast it per pair from then on ({!State.envelope}) *)
   options : Raha.Analysis.options;
       (** per-solve options; [spec], [domains], budgets, toggles *)
   drift_tol : float;
       (** max per-link probability-estimate drift a cached answer
           survives ({!Policy.decide}) *)
+  alert_tolerance : float;
+      (** daemon-wide push-alert threshold in normalized degradation
+          units; subscribers may override it per connection *)
 }
 
 type t
@@ -62,3 +67,27 @@ val strip_volatile : Json.t -> Json.t
 
 (** Served-query tallies: (cached, warm, cold). *)
 val tally : t -> int * int * int
+
+(** The push-notification state (subscribers, queues, crossing logic).
+    {!Server} registers subscribe verbs here and drains the queues onto
+    the sockets. *)
+val alerting : t -> Alerting.t
+
+(** Run {!Raha.Alert}'s two-stage pipeline over the current state and
+    every subscriber ({!Alerting.evaluate}): the fast stage solves the
+    worst case at the envelope's peak (upper corner) under a quarter of
+    the time budget; the deep stage is the worst query over the live
+    envelope, sharing its invalidation policy and cache. No-op with no
+    subscribers. [flush] is invoked after the fast-stage notifications
+    are queued, before the deep solve starts. Called by {!Server} after
+    each accepted {e structural} event. *)
+val evaluate_alert : ?flush:(unit -> unit) -> t -> unit
+
+(** Attach a journal: from now on every event {!handle} accepts is
+    appended ({!Journal.append}) before it is acknowledged. *)
+val attach_journal : t -> Journal.t -> unit
+
+(** [replay t events] folds recovered journal events through the normal
+    ingest path (no journaling, no notifications); returns
+    [(accepted, rejected)] — rejections are logged and skipped. *)
+val replay : t -> Event.event list -> int * int

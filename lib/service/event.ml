@@ -2,16 +2,23 @@ type event =
   | Link_down of { lag : int; link : int; at : float }
   | Link_up of { lag : int; link : int; at : float }
   | Capacity of { lag : int; link : int; capacity : float; at : float }
+  | Demand of { src : int; dst : int; lo : float; hi : float; at : float }
 
 let event_time = function
-  | Link_down { at; _ } | Link_up { at; _ } | Capacity { at; _ } -> at
+  | Link_down { at; _ } | Link_up { at; _ } | Capacity { at; _ }
+  | Demand { at; _ } ->
+    at
 
 type query =
   | Worst of { budget : int option; max_nodes : int option }
   | Now of { down : (int * int) list option }
   | Status
 
-type request = Event of event | Query of query | Shutdown
+type request =
+  | Event of event
+  | Query of query
+  | Subscribe of { tolerance : float option }
+  | Shutdown
 
 let ( let* ) = Result.bind
 
@@ -33,6 +40,22 @@ let opt_int j key =
     | Some i -> Ok (Some i)
     | None -> Error (Printf.sprintf "non-integer %S" key))
 
+let opt_float j key =
+  match Json.member key j with
+  | Json.Null -> Ok None
+  | v -> (
+    match Json.to_float v with
+    | Some f -> Ok (Some f)
+    | None -> Error (Printf.sprintf "non-numeric %S" key))
+
+let demand_of_json j =
+  let* src = field_int j "src" in
+  let* dst = field_int j "dst" in
+  let* lo = field_float j "lo" in
+  let* hi = field_float j "hi" in
+  let* at = field_float j "t" in
+  Ok (Demand { src; dst; lo; hi; at })
+
 let event_of_json j =
   let* ev =
     match Json.to_str (Json.member "ev" j) with
@@ -48,6 +71,7 @@ let event_of_json j =
   | "capacity" ->
     let* capacity = field_float j "cap" in
     Ok (Capacity { lag; link; capacity; at })
+  | "demand" -> Error "demand events use {\"op\":\"demand\",...}"
   | s -> Error (Printf.sprintf "unknown event kind %S" s)
 
 let links_of_json j =
@@ -83,9 +107,18 @@ let request_of_json j =
   | Some "event" ->
     let* e = event_of_json j in
     Ok (Event e)
+  | Some "demand" ->
+    let* e = demand_of_json j in
+    Ok (Event e)
   | Some "query" ->
     let* q = query_of_json j in
     Ok (Query q)
+  | Some "subscribe" ->
+    let* tolerance = opt_float j "tolerance" in
+    (match tolerance with
+    | Some t when not (Float.is_finite t && t >= 0.) ->
+      Error "\"tolerance\" must be a non-negative finite number"
+    | _ -> Ok (Subscribe { tolerance }))
   | Some "shutdown" -> Ok Shutdown
   | Some s -> Error (Printf.sprintf "unknown op %S" s)
   | None -> Error "missing \"op\""
@@ -112,6 +145,16 @@ let json_of_event e =
   | Link_up { lag; link; at } -> base "up" lag link at []
   | Capacity { lag; link; capacity; at } ->
     base "capacity" lag link at [ ("cap", Json.float capacity) ]
+  | Demand { src; dst; lo; hi; at } ->
+    Json.Obj
+      [
+        ("op", Json.String "demand");
+        ("src", Json.Int src);
+        ("dst", Json.Int dst);
+        ("lo", Json.float lo);
+        ("hi", Json.float hi);
+        ("t", Json.float at);
+      ]
 
 let json_of_query q =
   let fields =
@@ -141,4 +184,11 @@ let json_of_query q =
 let json_of_request = function
   | Event e -> json_of_event e
   | Query q -> json_of_query q
+  | Subscribe { tolerance } ->
+    Json.Obj
+      (("op", Json.String "subscribe")
+      ::
+      (match tolerance with
+      | Some t -> [ ("tolerance", Json.float t) ]
+      | None -> []))
   | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]

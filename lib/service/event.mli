@@ -13,6 +13,12 @@ type event =
   | Capacity of { lag : int; link : int; capacity : float; at : float }
       (** the link's capacity was re-provisioned — a {e structural}
           change: every cached model artifact is invalidated *)
+  | Demand of { src : int; dst : int; lo : float; hi : float; at : float }
+      (** the demand envelope for pair [(src, dst)] was re-forecast to
+          [\[lo, hi\]] — structural, like {!Capacity}: the worst-case
+          model is built over the envelope, so every cached artifact
+          (engine, cutstore, cached answer) is invalidated. Wire form is
+          [{"op":"demand",...}] rather than an ["ev"] kind *)
 
 val event_time : event -> float
 
@@ -29,7 +35,14 @@ type query =
           {!Parallel.Pool} ({!Core.now_many}) *)
   | Status  (** freshness and ingest statistics; never solves *)
 
-type request = Event of event | Query of query | Shutdown
+type request =
+  | Event of event
+  | Query of query
+  | Subscribe of { tolerance : float option }
+      (** register the connection for push alert/clear notifications;
+          [tolerance] overrides the daemon-wide alert threshold for this
+          subscriber. Handled by {!Server}, not {!Core.handle} *)
+  | Shutdown
 
 (** Parse one protocol line. [Error] carries a human-readable reason
     (echoed back to the client in an ["error"] response). *)

@@ -10,7 +10,18 @@
     - {b non-finite floats}: JSON has no [nan]/[inf]; {!float} encodes
       them as the strings ["nan"], ["inf"], ["-inf"] and {!to_float}
       decodes those strings back, so solver statuses with no point
-      survive the wire unambiguously. *)
+      survive the wire unambiguously.
+
+    Strings are emitted with the double quote, the backslash, and
+    every control byte below 0x20 escaped (backslash-n/r/t short
+    forms, [\u00XX] otherwise), so an encoded value never contains a
+    raw newline and one value always fits one protocol line. The
+    parser additionally accepts the [\b], [\f] and [\/] escapes, and
+    decodes [\uXXXX] escapes for Basic Multilingual Plane code points
+    to UTF-8 bytes (astral pairs are out of scope — the protocol
+    itself is ASCII); all other bytes pass through verbatim, so UTF-8
+    payloads survive unchanged. The json-edge-cases test in
+    [test_service] pins this wire format. *)
 
 type t =
   | Null

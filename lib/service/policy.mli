@@ -12,7 +12,8 @@
       bilevel model is rebuilt over the new estimates and re-solved
       warm: screening overlays on the persistent engine, surviving
       persisted cuts, candidate plunge hints.
-    - {b Cold}: the topology structure itself changed (capacity event).
+    - {b Cold}: the formulation structure itself changed (capacity or
+      demand-envelope event).
       Engine, cut store and cache are all rebuilt from scratch. *)
 
 type verdict = Cached | Warm | Cold

@@ -2,7 +2,13 @@ let src = Logs.Src.create "service.server" ~doc:"socket front end"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-type conn = { fd : Unix.file_descr; buf : Buffer.t }
+let default_socket = "/tmp/raha.sock"
+
+(* Reject request lines beyond this instead of buffering without
+   bound. *)
+let max_line = 1 lsl 20
+
+type conn = { id : int; fd : Unix.file_descr; buf : Buffer.t }
 
 let send_line fd line =
   let data = Bytes.of_string (line ^ "\n") in
@@ -31,73 +37,143 @@ let drain_lines conn =
   Buffer.add_string conn.buf (String.sub s !start (String.length s - !start));
   List.rev !lines
 
-(* Answer one readiness round. Requests are answered in arrival order;
-   maximal runs of "now" queries fan out on the pool. Returns [true]
-   when a shutdown was requested. *)
-let process core batch =
-  let shutdown = ref false in
-  let flush_now_run run =
-    match List.rev run with
-    | [] -> ()
-    | items ->
-      let arr = Array.of_list items in
-      let downs =
-        Array.map
-          (fun (_, req) ->
-            match req with
-            | Event.Query (Event.Now { down }) -> down
-            | _ -> assert false)
-          arr
-      in
-      let answers = Core.now_many core downs in
-      Array.iteri
-        (fun i (conn, _) ->
-          ignore (send_line conn.fd (Json.to_string answers.(i))))
-        arr
-  in
-  let rec go now_run = function
-    | [] -> flush_now_run now_run
-    | (conn, Error msg) :: rest ->
-      flush_now_run now_run;
-      ignore
-        (send_line conn.fd
-           (Json.to_string
-              (Json.Obj
-                 [ ("ok", Json.Bool false); ("error", Json.String msg) ])));
-      go [] rest
-    | (conn, Ok (Event.Query (Event.Now _) as req)) :: rest ->
-      go ((conn, req) :: now_run) rest
-    | (conn, Ok req) :: rest ->
-      flush_now_run now_run;
-      let resp = Core.handle core req in
-      ignore (send_line conn.fd (Json.to_string resp));
-      if req = Event.Shutdown then shutdown := true;
-      go [] rest
-  in
-  go [] batch;
-  !shutdown
+let oversize_msg = "request line exceeds 1 MiB"
+
+let error_json msg =
+  Json.Obj [ ("ok", Json.Bool false); ("error", Json.String msg) ]
 
 let run ~socket ?(backlog = 16) core =
+  let al = Core.alerting core in
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX socket);
   Unix.listen listen_fd backlog;
   Log.info (fun f -> f "listening on %s" socket);
   let conns = ref [] in
+  let next_id = ref 0 in
   let closed conn =
+    Alerting.unsubscribe al ~id:conn.id;
     (try Unix.close conn.fd with Unix.Unix_error _ -> ());
     conns := List.filter (fun c -> c != conn) !conns
+  in
+  (* Drain subscriber queues onto their (nonblocking) sockets: write
+     until the kernel pushes back, track per-line progress in the
+     Alerting buffers, never wait. *)
+  let flush_subscribers () =
+    List.iter
+      (fun id ->
+        match List.find_opt (fun c -> c.id = id) !conns with
+        | None -> Alerting.unsubscribe al ~id
+        | Some conn ->
+          let rec drain () =
+            match Alerting.next_chunk al ~id with
+            | None -> ()
+            | Some (line, off) -> (
+              let data = Bytes.of_string line in
+              match Unix.write conn.fd data off (Bytes.length data - off) with
+              | 0 -> ()
+              | n ->
+                Alerting.advance al ~id n;
+                drain ()
+              | exception
+                  Unix.Unix_error
+                    ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+                ()
+              | exception Unix.Unix_error _ -> closed conn)
+          in
+          drain ())
+      (Alerting.pending_ids al)
+  in
+  (* A subscribed connection's responses all flow through its bounded
+     queue (so a slow reader costs dropped notifications, not a stalled
+     event loop); everyone else gets a direct blocking write. *)
+  let respond conn json =
+    if Alerting.subscribed al ~id:conn.id then begin
+      Alerting.enqueue al ~id:conn.id (Json.to_string json);
+      flush_subscribers ()
+    end
+    else ignore (send_line conn.fd (Json.to_string json))
+  in
+  let shutdown_requested = ref false in
+  (* Answer one readiness round. Requests are answered in arrival
+     order; maximal runs of "now" queries fan out on the pool. *)
+  let process batch =
+    let flush_now_run run =
+      match List.rev run with
+      | [] -> ()
+      | items ->
+        let arr = Array.of_list items in
+        let downs =
+          Array.map
+            (fun (_, req) ->
+              match req with
+              | Event.Query (Event.Now { down }) -> down
+              | _ -> assert false)
+            arr
+        in
+        let answers = Core.now_many core downs in
+        Array.iteri (fun i (conn, _) -> respond conn answers.(i)) arr
+    in
+    let structural_ok resp =
+      Json.to_bool (Json.member "ok" resp) = Some true
+      && Json.to_bool (Json.member "structural" resp) = Some true
+    in
+    let rec go now_run = function
+      | [] -> flush_now_run now_run
+      | (conn, Error msg) :: rest ->
+        flush_now_run now_run;
+        respond conn (error_json msg);
+        go [] rest
+      | (conn, Ok (Event.Query (Event.Now _) as req)) :: rest ->
+        go ((conn, req) :: now_run) rest
+      | (conn, Ok (Event.Subscribe { tolerance })) :: rest ->
+        flush_now_run now_run;
+        Alerting.subscribe al ~id:conn.id ~tolerance;
+        (* nonblocking from here on: pushes must never stall the loop *)
+        Unix.set_nonblock conn.fd;
+        respond conn
+          (Json.Obj
+             ([ ("ok", Json.Bool true); ("subscribed", Json.Bool true) ]
+             @
+             match tolerance with
+             | Some tol -> [ ("tolerance", Json.float tol) ]
+             | None -> []));
+        go [] rest
+      | (conn, Ok req) :: rest ->
+        flush_now_run now_run;
+        let resp = Core.handle core req in
+        respond conn resp;
+        (* the push pipeline runs after each accepted structural ingest:
+           fast-stage notifications hit the wire before the deep solve *)
+        (match req with
+        | Event.Event _ when structural_ok resp ->
+          Core.evaluate_alert ~flush:flush_subscribers core
+        | _ -> ());
+        if req = Event.Shutdown then shutdown_requested := true;
+        go [] rest
+    in
+    go [] batch
   in
   let stop = ref false in
   let chunk = Bytes.create 65536 in
   while not !stop do
     let fds = listen_fd :: List.map (fun c -> c.fd) !conns in
-    match Unix.select fds [] [] (-1.) with
+    let wfds =
+      List.filter_map
+        (fun id ->
+          Option.map
+            (fun c -> c.fd)
+            (List.find_opt (fun c -> c.id = id) !conns))
+        (Alerting.pending_ids al)
+    in
+    match Unix.select fds wfds [] (-1.) with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | ready, _, _ ->
+    | ready, writable, _ ->
+      if writable <> [] then flush_subscribers ();
       if List.mem listen_fd ready then begin
         let fd, _ = Unix.accept listen_fd in
-        conns := !conns @ [ { fd; buf = Buffer.create 256 } ]
+        incr next_id;
+        conns := !conns @ [ { id = !next_id; fd; buf = Buffer.create 256 } ]
       end;
       (* gather every complete request line that arrived this round *)
       let batch = ref [] in
@@ -110,13 +186,25 @@ let run ~socket ?(backlog = 16) core =
               Buffer.add_subbytes conn.buf chunk 0 n;
               List.iter
                 (fun line ->
-                  if String.trim line <> "" then
+                  if String.length line > max_line then
+                    batch := (conn, Error oversize_msg) :: !batch
+                  else if String.trim line <> "" then
                     batch := (conn, Event.request_of_line line) :: !batch)
-                (drain_lines conn)
+                (drain_lines conn);
+              if Buffer.length conn.buf > max_line + Bytes.length chunk then begin
+                (* the partial line is past the cap by more than one
+                   read chunk (so this cannot be a complete oversized
+                   line about to finish in the next read); answer
+                   in-band and drop the connection — there is no line
+                   boundary left to resync on *)
+                ignore (send_line conn.fd (Json.to_string (error_json oversize_msg)));
+                closed conn
+              end
             | exception Unix.Unix_error _ -> closed conn
           end)
         !conns;
-      if process core (List.rev !batch) then stop := true
+      process (List.rev !batch);
+      if !shutdown_requested then stop := true
   done;
   List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
   (try Unix.close listen_fd with Unix.Unix_error _ -> ());

@@ -9,6 +9,7 @@ type t = {
   mutable est : Failure.Renewal.Incr.t array;
   capacity : float array;  (* current provisioned capacity per link *)
   configured_prob : float array;
+  mutable envelope : Traffic.Envelope.t;
   mutable clock : float;
   mutable events : int;
   mutable structure_gen : int;
@@ -16,7 +17,7 @@ type t = {
       (* topology rebuilt at event count [fst] *)
 }
 
-let create base =
+let create ~envelope base =
   let nl = Wan.Topology.num_lags base in
   let offsets = Array.make nl 0 in
   let total = ref 0 in
@@ -42,6 +43,7 @@ let create base =
     est = Array.make total Failure.Renewal.Incr.empty;
     capacity;
     configured_prob;
+    envelope;
     clock = 0.;
     events = 0;
     structure_gen = 0;
@@ -103,8 +105,30 @@ let apply t ev =
       t.capacity.(k) <- capacity;
       applied ~structural:true at
     end
+  | Event.Demand { src; dst; lo; hi; at } ->
+    let* () = check_time t at in
+    if
+      not
+        (Float.is_finite lo && Float.is_finite hi && lo >= 0. && hi >= lo)
+    then Error "demand bounds must satisfy 0 <= lo <= hi, finite"
+    else if
+      (* only re-forecasts of pairs the model already carries: a brand-new
+         pair would change the LP's variable set mid-stream, which no
+         cached artifact (or the paper's model) anticipates *)
+      not (List.mem (src, dst) (Traffic.Envelope.pairs t.envelope))
+    then Error (Printf.sprintf "no demand pair (%d, %d) in the envelope" src dst)
+    else begin
+      t.envelope <-
+        {
+          Traffic.Envelope.lo =
+            Traffic.Demand.set t.envelope.Traffic.Envelope.lo ~src ~dst lo;
+          hi = Traffic.Demand.set t.envelope.Traffic.Envelope.hi ~src ~dst hi;
+        };
+      applied ~structural:true at
+    end
 
 let events_applied t = t.events
+let envelope t = t.envelope
 let clock t = t.clock
 let structure_generation t = t.structure_gen
 

@@ -15,14 +15,16 @@
 
 type t
 
-(** [create topo] — all links up, no telemetry, clock at 0. *)
-val create : Wan.Topology.t -> t
+(** [create ~envelope topo] — all links up, no telemetry, clock at 0,
+    demand envelope as configured. *)
+val create : envelope:Traffic.Envelope.t -> Wan.Topology.t -> t
 
 (** Apply one event. [Error] (bad link address, time regression,
-    down/up mismatch, non-positive capacity) leaves the state
-    untouched. [Ok structural] is [true] when the event changed the
-    topology {e structure} (a capacity change) — every cached model
-    artifact is then invalid, not just probability-dependent ones. *)
+    down/up mismatch, non-positive capacity, bad demand bounds or an
+    unknown demand pair) leaves the state untouched. [Ok structural] is
+    [true] when the event changed the worst-case {e model structure} (a
+    capacity or demand-envelope change) — every cached model artifact is
+    then invalid, not just probability-dependent ones. *)
 val apply : t -> Event.event -> (bool, string) result
 
 val events_applied : t -> int
@@ -42,6 +44,10 @@ val estimates : t -> float array
 (** The configured topology with current estimates and capacities. *)
 val current_topology : t -> Wan.Topology.t
 
-(** Monotonic count of structural (capacity) changes, for cheap
-    "did the structure move since generation g?" checks. *)
+(** The current demand envelope: configured bounds overridden per-pair
+    by accepted {!Event.Demand} re-forecasts. *)
+val envelope : t -> Traffic.Envelope.t
+
+(** Monotonic count of structural (capacity / demand-envelope) changes,
+    for cheap "did the structure move since generation g?" checks. *)
 val structure_generation : t -> int
